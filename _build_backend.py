@@ -1,0 +1,105 @@
+"""Minimal in-tree PEP 517/660 build backend.
+
+This environment is offline and its setuptools predates bundled
+``bdist_wheel`` support, so ``pip install -e .`` cannot use the standard
+backend. A wheel is only a zip archive with a ``.dist-info`` directory,
+and an *editable* wheel additionally just needs a ``.pth`` file pointing
+at ``src/`` — both are easy to produce directly, which is what this
+backend does. No behaviour here is Troxy-specific.
+"""
+
+from __future__ import annotations
+
+import base64
+import csv
+import hashlib
+import io
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+DIST_INFO = f"{NAME}-{VERSION}.dist-info"
+ROOT = os.path.dirname(os.path.abspath(__file__))
+
+METADATA = f"""Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: Troxy (DSN 2018) reproduction: transparent access to BFT systems
+Requires-Python: >=3.10
+"""
+
+WHEEL_FILE = """Wheel-Version: 1.0
+Generator: repro-inline-backend
+Root-Is-Purelib: true
+Tag: py3-none-any
+"""
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+def _write_wheel(wheel_directory: str, extra_files: dict[str, bytes]) -> str:
+    wheel_name = f"{NAME}-{VERSION}-py3-none-any.whl"
+    files = dict(extra_files)
+    files[f"{DIST_INFO}/METADATA"] = METADATA.encode()
+    files[f"{DIST_INFO}/WHEEL"] = WHEEL_FILE.encode()
+
+    record = io.StringIO()
+    writer = csv.writer(record)
+    for path, data in files.items():
+        writer.writerow([path, _record_hash(data), len(data)])
+    writer.writerow([f"{DIST_INFO}/RECORD", "", ""])
+    files[f"{DIST_INFO}/RECORD"] = record.getvalue().encode()
+
+    out_path = os.path.join(wheel_directory, wheel_name)
+    with zipfile.ZipFile(out_path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for path, data in files.items():
+            zf.writestr(path, data)
+    return wheel_name
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    dist_info = os.path.join(metadata_directory, DIST_INFO)
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as fh:
+        fh.write(METADATA)
+    with open(os.path.join(dist_info, "WHEEL"), "w") as fh:
+        fh.write(WHEEL_FILE)
+    return DIST_INFO
+
+
+prepare_metadata_for_build_editable = prepare_metadata_for_build_wheel
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    pth = f"{os.path.join(ROOT, 'src')}\n".encode()
+    return _write_wheel(wheel_directory, {f"{NAME}.pth": pth})
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    files: dict[str, bytes] = {}
+    src = os.path.join(ROOT, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for filename in filenames:
+            if filename.endswith((".pyc", ".pyo")):
+                continue
+            full = os.path.join(dirpath, filename)
+            rel = os.path.relpath(full, src)
+            with open(full, "rb") as fh:
+                files[rel.replace(os.sep, "/")] = fh.read()
+    return _write_wheel(wheel_directory, files)
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    raise NotImplementedError("sdist builds are not needed in this environment")

@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment exactly once (``pedantic`` mode):
+the interesting output is the reproduced series, not wall-clock jitter.
+Set ``REPRO_BENCH_SCALE`` (e.g. 0.3) to shrink client counts for a
+quick pass; the shape assertions are scale-tolerant.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

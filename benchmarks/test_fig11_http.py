@@ -1,0 +1,42 @@
+"""Fig. 11: HTTP service latency, local network and WAN.
+
+Paper shape, local network: the standalone server (Jetty) sets the
+floor; baseline and Troxy stay within ~2 ms of it; Prophecy's extra
+middlebox hop roughly doubles the overhead. With the 100 +/- 20 ms
+delay, the baseline's latency rises dramatically (its voter sits on the
+client machine: conflicted reads pay extra WAN round trips), while
+Prophecy and Troxy — voters next to the replicas — track the standalone
+server closely: BFT at one WAN round trip.
+"""
+
+from repro.bench.experiments import fig11_http_latency
+from repro.bench.report import format_latency_series, save_and_print
+
+
+def test_fig11_http_latency(run_once):
+    points = run_once(fig11_http_latency)
+    save_and_print(
+        "fig11",
+        format_latency_series(
+            "Fig. 11 — HTTP service mean latency (GET/POST mix, ~500 req/s)", points
+        ),
+    )
+    local = {p.system: p.latency_ms for p in points if p.x == "local"}
+    wan = {p.system: p.latency_ms for p in points if p.x == "wan"}
+
+    # Local: Jetty is the floor; BL and Troxy add small overhead (~ms).
+    assert local["jetty"] <= min(local.values()) + 1e-9
+    assert local["bl"] - local["jetty"] < 2.0
+    assert local["troxy"] - local["jetty"] < 2.0
+    # Prophecy's two hops cost roughly another connection's worth.
+    assert local["prophecy"] > local["troxy"]
+
+    # WAN: everyone pays the ~200 ms round trip...
+    for system, latency in wan.items():
+        assert latency > 150.0, (system, latency)
+    # ...but the baseline rises clearly above the server-side voters.
+    assert wan["bl"] > wan["troxy"] + 10.0
+    assert wan["bl"] > wan["prophecy"] + 10.0
+    # Troxy (and Prophecy) nearly hide the replication cost.
+    assert wan["troxy"] - wan["jetty"] < 25.0
+    assert wan["prophecy"] - wan["jetty"] < 25.0

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fault tour: Troxy crash, untrusted-host tampering, leader failure.
+
+Shows the fault handling of Section III-D end to end:
+
+1. the client's contact Troxy crashes -> the client reconnects to the
+   next server and retransmits, exactly like against any web service;
+2. the untrusted part of a replica corrupts a sealed reply -> the client
+   detects a corrupted channel and fails over;
+3. the Hybster leader dies -> a view change elects a new leader and the
+   service keeps going, invisibly to the client.
+
+Run:  python examples/failover.py
+"""
+
+import dataclasses
+
+from repro.apps.base import Payload
+from repro.apps.kvstore import KvStore, get, put
+from repro.bench.clusters import build_troxy
+from repro.hybster.secure import SecureEnvelope
+
+
+def main():
+    cluster = build_troxy(seed=3, app_factory=KvStore)
+    client = cluster.new_client(contact_index=1, request_timeout=1.0)
+    events = []
+
+    def scenario():
+        outcome = yield from client.invoke(put("account", b"balance=100"))
+        events.append(("write through " + client.contact.replica_id, outcome))
+
+        # 1. Crash the contact server (replica + its Troxy).
+        crashed = client.contact.replica_id
+        cluster.host_of(crashed).stop()
+        outcome = yield from client.invoke(get("account"))
+        events.append((f"read after {crashed} crashed (failovers={client.stats.failovers})", outcome))
+
+        # 2. The (new) contact's untrusted host corrupts one sealed reply.
+        original_send = cluster.net.send
+        state = {"armed": True}
+
+        def tampering_send(src, dst, payload, size=None, **kwargs):
+            if (
+                state["armed"]
+                and src == client.contact.replica_id
+                and dst.startswith("client-machine")
+                and isinstance(payload, SecureEnvelope)
+            ):
+                state["armed"] = False
+                forged = dataclasses.replace(
+                    payload.body, result=Payload(b"balance=1000000")
+                )
+                payload = SecureEnvelope(payload.record, forged)
+            return original_send(src, dst, payload, size, **kwargs)
+
+        cluster.net.send = tampering_send
+        outcome = yield from client.invoke(get("account"))
+        events.append(
+            (f"read despite reply tampering (invalid replies seen="
+             f"{client.stats.invalid_replies})", outcome),
+        )
+
+    cluster.env.process(scenario())
+    cluster.env.run(until=60.0)
+
+    for label, outcome in events:
+        print(f"{label:55s} -> {outcome.result.content!r}")
+
+    # 3. Leader failure on a fresh cluster (only f=1 crashes are covered;
+    # the scenario above already used up the budget on replica-1).
+    print("\n--- leader crash / view change (fresh cluster) ---")
+    cluster2 = build_troxy(seed=4, app_factory=KvStore)
+    client2 = cluster2.new_client(contact_index=1, request_timeout=2.0)
+    events2 = []
+
+    def scenario2():
+        outcome = yield from client2.invoke(put("account", b"balance=100"))
+        events2.append(("write in view 0", outcome))
+        cluster2.host_of("replica-0").stop()  # the view-0 leader
+        outcome = yield from client2.invoke(put("account", b"balance=42"))
+        events2.append(("write after leader crash (view change)", outcome))
+        outcome = yield from client2.invoke(get("account"))
+        events2.append(("final read", outcome))
+
+    cluster2.env.process(scenario2())
+    cluster2.env.run(until=120.0)
+    for label, outcome in events2:
+        print(f"{label:55s} -> {outcome.result.content!r}")
+    views = {r.replica_id: r.view for r in cluster2.replicas[1:]}
+    print(f"\nsurviving replicas' views: {views} (view change happened: "
+          f"{any(v > 0 for v in views.values())})")
+
+
+if __name__ == "__main__":
+    main()

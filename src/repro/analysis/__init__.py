@@ -1,0 +1,24 @@
+"""Measurement and verification utilities."""
+
+from .history import HistoryRecorder
+from .linearizability import (
+    OpRecord,
+    check_key_history,
+    check_linearizable,
+    find_violation,
+    split_by_key,
+)
+from .metrics import Collector, Sample, Summary, percentile
+
+__all__ = [
+    "Collector",
+    "HistoryRecorder",
+    "OpRecord",
+    "Sample",
+    "Summary",
+    "check_key_history",
+    "check_linearizable",
+    "find_violation",
+    "percentile",
+    "split_by_key",
+]

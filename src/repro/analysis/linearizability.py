@@ -1,0 +1,100 @@
+"""Linearizability checking for key-value histories (Wing & Gong).
+
+Troxy's headline consistency claim is that the fast-read cache preserves
+linearizability. The integration tests exercise that claim end to end:
+they record (start, end, operation, result) for every client invocation
+and hand the history to this checker, which searches for a legal
+sequential witness ordering consistent with real-time precedence.
+
+Exponential in the worst case — use with bounded histories (the tests
+keep them small and per-key, which is sound: linearizability is local,
+i.e. a history is linearizable iff each per-key subhistory is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One completed client operation."""
+
+    client: str
+    kind: str  # "put" or "get"
+    key: str
+    value: Optional[bytes]  # written value for put; observed value for get
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if self.kind not in ("put", "get"):
+            raise ValueError(f"unsupported kind: {self.kind!r}")
+        if self.end < self.start:
+            raise ValueError("end before start")
+
+
+def split_by_key(history: list[OpRecord]) -> dict[str, list[OpRecord]]:
+    """Locality: check each key's subhistory independently."""
+    by_key: dict[str, list[OpRecord]] = {}
+    for record in history:
+        by_key.setdefault(record.key, []).append(record)
+    return by_key
+
+
+def check_key_history(
+    history: list[OpRecord], initial: Optional[bytes] = None
+) -> bool:
+    """Is this single-key history linearizable w.r.t. a register spec?"""
+    records = sorted(history, key=lambda r: (r.start, r.end))
+    n = len(records)
+    if n == 0:
+        return True
+    seen: set[tuple[frozenset, Optional[bytes]]] = set()
+
+    def search(remaining: frozenset, state: Optional[bytes]) -> bool:
+        if not remaining:
+            return True
+        memo_key = (remaining, state)
+        if memo_key in seen:
+            return False
+        # An op may linearize next only if no other remaining op finished
+        # before it started (real-time order must be respected).
+        min_end = min(records[i].end for i in remaining)
+        for i in sorted(remaining):
+            record = records[i]
+            if record.start > min_end:
+                break  # sorted by start: no later op can be minimal
+            if record.kind == "get" and record.value != state:
+                continue
+            next_state = record.value if record.kind == "put" else state
+            if search(remaining - {i}, next_state):
+                return True
+        seen.add(memo_key)
+        return False
+
+    return search(frozenset(range(n)), initial)
+
+
+def check_linearizable(
+    history: list[OpRecord], initial: Optional[dict[str, bytes]] = None
+) -> bool:
+    """Check a multi-key history (per-key decomposition)."""
+    initial = initial or {}
+    return all(
+        check_key_history(records, initial.get(key))
+        for key, records in split_by_key(history).items()
+    )
+
+
+def find_violation(history: list[OpRecord]) -> Optional[str]:
+    """Human-readable description of the first non-linearizable key."""
+    for key, records in split_by_key(history).items():
+        if not check_key_history(records):
+            ops = "\n".join(
+                f"  [{r.start:.6f}, {r.end:.6f}] {r.client} {r.kind}({key}) -> {r.value!r}"
+                for r in sorted(records, key=lambda r: r.start)
+            )
+            return f"history for key {key!r} is not linearizable:\n{ops}"
+    return None

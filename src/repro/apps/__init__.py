@@ -1,0 +1,19 @@
+"""Replicated applications: the microbenchmark service, a KV store, and
+the HTTP page service, all implementing :class:`repro.apps.base.Application`."""
+
+from .base import EMPTY_PAYLOAD, Application, Operation, OpKind, Payload
+from .echo import EchoService
+from .kvstore import KvStore, delete, get, put
+
+__all__ = [
+    "Application",
+    "EMPTY_PAYLOAD",
+    "EchoService",
+    "KvStore",
+    "Operation",
+    "OpKind",
+    "Payload",
+    "delete",
+    "get",
+    "put",
+]

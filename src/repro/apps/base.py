@@ -1,0 +1,117 @@
+"""Replicated-application interface and common value types.
+
+Every service replicated by Hybster (with or without Troxy) implements
+:class:`Application`. Following the paper's fast-read assumptions
+(Section IV-A), the interface lets the framework (1) distinguish read
+from write requests *before* execution and (2) determine which part of
+the state a request touches (``keys_accessed``) — both are required for
+the managed cache.
+
+Payloads carry real content bytes (so digests and votes are genuine)
+plus a ``padded_size`` so benchmarks can model 4 KB replies without
+materializing 4 KB of RAM per message.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto.primitives import digest_of
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Payload:
+    """Message body: semantic content plus modelled wire size."""
+
+    content: bytes
+    padded_size: int = 0
+
+    def __post_init__(self):
+        if self.padded_size and self.padded_size < len(self.content):
+            raise ValueError(
+                f"padded_size {self.padded_size} smaller than content "
+                f"({len(self.content)} bytes)"
+            )
+
+    @property
+    def size(self) -> int:
+        """Modelled on-the-wire size in bytes."""
+        return self.padded_size or len(self.content)
+
+    def digest(self) -> bytes:
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = digest_of(self.content, self.size.to_bytes(8, "big"))
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+
+EMPTY_PAYLOAD = Payload(b"", 0)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One application-level command."""
+
+    kind: OpKind
+    name: str  # e.g. "get", "put", "echo"
+    key: str = ""
+    body: Payload = EMPTY_PAYLOAD
+
+    @property
+    def size(self) -> int:
+        return len(self.name) + len(self.key) + self.body.size + 2
+
+    def digest(self) -> bytes:
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = digest_of(
+                self.kind.value.encode(), self.name.encode(), self.key.encode(),
+                self.body.digest(),
+            )
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OpKind.READ
+
+
+class Application:
+    """Deterministic state machine replicated by the BFT protocol."""
+
+    def execute(self, op: Operation) -> Payload:
+        """Apply ``op`` and return the reply payload. Must be deterministic."""
+        raise NotImplementedError
+
+    def execute_read(self, op: Operation) -> Payload:
+        """Execute a read against current state without ordering it.
+
+        Used by the PBFT-like read optimization. Default: same as execute
+        (reads must not mutate state).
+        """
+        if not op.is_read:
+            raise ValueError(f"execute_read on a write operation: {op}")
+        return self.execute(op)
+
+    def keys_accessed(self, op: Operation) -> tuple[str, ...]:
+        """State partitions this operation reads or writes."""
+        return (op.key,)
+
+    def execution_cost(self, op: Operation) -> float:
+        """Simulated CPU seconds to execute ``op``."""
+        return 1.0e-6 + 0.1e-9 * op.body.size
+
+    def snapshot(self) -> bytes:
+        """Serialized state for checkpoints / state transfer."""
+        raise NotImplementedError
+
+    def restore(self, snapshot: bytes) -> None:
+        raise NotImplementedError

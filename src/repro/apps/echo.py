@@ -1,0 +1,48 @@
+"""The microbenchmark service (Section VI-C).
+
+"We created a simple service that accepts requests and generates a reply
+message of configurable size. Read and write requests can be
+distinguished by their operation types."
+
+Writes bump a per-key version counter (so concurrent writes genuinely
+change the state reads observe); reads return the current version padded
+to the configured reply size. Determinism: the reply content depends
+only on the sequence of executed operations.
+"""
+
+from __future__ import annotations
+
+from .base import Application, Operation, OpKind, Payload
+
+
+class EchoService(Application):
+    """Configurable-reply-size echo/counter service."""
+
+    def __init__(self, reply_size: int = 10):
+        if reply_size < 1:
+            raise ValueError(f"reply_size must be positive: {reply_size}")
+        self.reply_size = reply_size
+        self._versions: dict[str, int] = {}
+
+    def execute(self, op: Operation) -> Payload:
+        if op.kind is OpKind.WRITE:
+            self._versions[op.key] = self._versions.get(op.key, 0) + 1
+            # Writes get the paper's fixed 10 B acknowledgement.
+            content = f"ok:{self._versions[op.key]}".encode()
+            return Payload(content, padded_size=max(10, len(content)))
+        version = self._versions.get(op.key, 0)
+        content = f"{op.key}@{version}".encode()
+        return Payload(content, padded_size=max(self.reply_size, len(content)))
+
+    def snapshot(self) -> bytes:
+        return ";".join(
+            f"{key}={version}" for key, version in sorted(self._versions.items())
+        ).encode()
+
+    def restore(self, snapshot: bytes) -> None:
+        self._versions = {}
+        if not snapshot:
+            return
+        for entry in snapshot.decode().split(";"):
+            key, version = entry.rsplit("=", 1)
+            self._versions[key] = int(version)

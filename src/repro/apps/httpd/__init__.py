@@ -1,0 +1,33 @@
+"""HTTP substrate: HTTP/1.1 codec and the replicated page service."""
+
+from .codec import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    frame_length,
+    parse_request,
+    parse_response,
+)
+from .service import (
+    DEFAULT_PAGE_SIZES,
+    HttpPageService,
+    get_operation,
+    http_operation,
+    post_operation,
+    seed_pages,
+)
+
+__all__ = [
+    "DEFAULT_PAGE_SIZES",
+    "HttpError",
+    "HttpPageService",
+    "HttpRequest",
+    "HttpResponse",
+    "frame_length",
+    "get_operation",
+    "http_operation",
+    "parse_request",
+    "parse_response",
+    "post_operation",
+    "seed_pages",
+]

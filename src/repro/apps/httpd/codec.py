@@ -1,0 +1,146 @@
+"""Minimal HTTP/1.1 message codec.
+
+Troxy does not need to *understand* HTTP — "it is sufficient for the
+Troxy to identify request boundaries ... for many communication
+protocols, including HTTP, identifying message boundaries is
+straightforward due to messages carrying information about their own
+length" (Section III-E). This codec provides exactly that: encode,
+parse, and a :func:`frame_length` that finds message boundaries from
+the Content-Length header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+CRLF = b"\r\n"
+HEADER_END = b"\r\n\r\n"
+
+
+class HttpError(Exception):
+    """Malformed HTTP message."""
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One HTTP/1.1 request."""
+
+    method: str
+    path: str
+    headers: tuple[tuple[str, str], ...] = ()
+    body: bytes = b""
+
+    def header(self, name: str) -> Optional[str]:
+        lowered = name.lower()
+        for key, value in self.headers:
+            if key.lower() == lowered:
+                return value
+        return None
+
+    def encode(self) -> bytes:
+        headers = list(self.headers)
+        if self.body and self.header("content-length") is None:
+            headers.append(("Content-Length", str(len(self.body))))
+        # HTTP/1.1 header fields are latin-1 on the wire (RFC 7230).
+        lines = [f"{self.method} {self.path} HTTP/1.1".encode("latin-1")]
+        lines += [f"{k}: {v}".encode("latin-1") for k, v in headers]
+        return CRLF.join(lines) + HEADER_END + self.body
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One HTTP/1.1 response."""
+
+    status: int
+    reason: str = ""
+    headers: tuple[tuple[str, str], ...] = ()
+    body: bytes = b""
+
+    def header(self, name: str) -> Optional[str]:
+        lowered = name.lower()
+        for key, value in self.headers:
+            if key.lower() == lowered:
+                return value
+        return None
+
+    def encode(self) -> bytes:
+        reason = self.reason or {200: "OK", 201: "Created", 404: "Not Found"}.get(
+            self.status, ""
+        )
+        headers = list(self.headers)
+        if self.header("content-length") is None:
+            headers.append(("Content-Length", str(len(self.body))))
+        lines = [f"HTTP/1.1 {self.status} {reason}".encode("latin-1")]
+        lines += [f"{k}: {v}".encode("latin-1") for k, v in headers]
+        return CRLF.join(lines) + HEADER_END + self.body
+
+
+def _parse_headers(block: bytes) -> tuple[tuple[str, str], ...]:
+    headers = []
+    for line in block.split(CRLF):
+        if not line:
+            continue
+        if b":" not in line:
+            raise HttpError(f"malformed header line: {line!r}")
+        name, _, value = line.partition(b":")
+        headers.append((name.decode("latin-1").strip(), value.decode("latin-1").strip()))
+    return tuple(headers)
+
+
+def frame_length(data: bytes) -> Optional[int]:
+    """Total length of the first complete message in ``data``.
+
+    Returns None while the message is still incomplete. This is the only
+    protocol knowledge the Troxy needs about HTTP.
+    """
+    end = data.find(HEADER_END)
+    if end < 0:
+        return None
+    header_block = data[:end]
+    content_length = 0
+    for line in header_block.split(CRLF)[1:]:
+        name, _, value = line.partition(b":")
+        if name.decode("latin-1").strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise HttpError(f"bad Content-Length: {value!r}") from None
+    total = end + len(HEADER_END) + content_length
+    return total if len(data) >= total else None
+
+
+def _split_message(data: bytes) -> tuple[bytes, bytes, bytes]:
+    """(first line, header block, body) of the first complete message."""
+    total = frame_length(data)
+    if total is None:
+        raise HttpError("incomplete message")
+    end = data.find(HEADER_END)
+    head = data[:end]
+    body = data[end + len(HEADER_END): total]
+    first_line, _, header_block = head.partition(CRLF)
+    return first_line, header_block, body
+
+
+def parse_request(data: bytes) -> HttpRequest:
+    """Parse one complete request (raises on malformed/incomplete)."""
+    request_line, header_block, body = _split_message(data)
+    parts = request_line.decode("latin-1").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(f"malformed request line: {request_line!r}")
+    method, path, _version = parts
+    return HttpRequest(method, path, _parse_headers(header_block), body)
+
+
+def parse_response(data: bytes) -> HttpResponse:
+    """Parse one complete response."""
+    status_line, header_block, body = _split_message(data)
+    parts = status_line.decode("latin-1").split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HttpError(f"malformed status line: {status_line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HttpError(f"bad status code: {parts[1]!r}") from None
+    reason = parts[2] if len(parts) == 3 else ""
+    return HttpResponse(status, reason, _parse_headers(header_block), body)

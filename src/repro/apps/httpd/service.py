@@ -1,0 +1,121 @@
+"""The replicated HTTP page service (Section VI-D).
+
+"We created a simple, replicated HTTP service that handles HTTP GET and
+POST requests and returns the queried or modified pages as responses."
+
+Pages are initialized with sizes between 4 KB and 18 KB; GET/POST
+requests carry ~200 B payloads. The service implements
+:class:`Application`, so the same code runs under the baseline,
+Prophecy, Troxy, and standalone deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..base import Application, Operation, OpKind, Payload
+from .codec import HttpRequest, HttpResponse, parse_request
+
+DEFAULT_PAGE_SIZES = (4096, 6144, 8192, 10240, 12288, 14336, 16384, 18432)
+
+
+def seed_pages(count: int = 32, sizes: Iterable[int] = DEFAULT_PAGE_SIZES) -> dict[str, bytes]:
+    """Generate the initial page set (deterministic)."""
+    sizes = tuple(sizes)
+    pages = {}
+    for i in range(count):
+        size = sizes[i % len(sizes)]
+        content = (f"<page {i}>".encode() * (size // 8 + 1))[:size]
+        pages[f"/page/{i}"] = content
+    return pages
+
+
+def http_operation(request: HttpRequest) -> Operation:
+    """Wrap an HTTP request into a replicated-state-machine operation.
+
+    GET maps to a read on the path's state partition; POST to a write.
+    The raw HTTP bytes ride along as the operation body, so replicas
+    parse and answer exactly what the client sent.
+    """
+    kind = OpKind.READ if request.method == "GET" else OpKind.WRITE
+    encoded = request.encode()
+    return Operation(kind, name="http", key=request.path, body=Payload(encoded))
+
+
+def get_operation(path: str, extra_payload: int = 0) -> Operation:
+    """Convenience: a GET with an optional padding payload (headers)."""
+    headers = ()
+    if extra_payload:
+        headers = (("X-Padding", "x" * extra_payload),)
+    return http_operation(HttpRequest("GET", path, headers))
+
+
+def post_operation(path: str, body: bytes) -> Operation:
+    return http_operation(HttpRequest("POST", path, (), body))
+
+
+class HttpPageService(Application):
+    """Deterministic page store behind an HTTP facade."""
+
+    def __init__(self, pages: Optional[dict[str, bytes]] = None):
+        self._pages: dict[str, bytes] = dict(pages if pages is not None else seed_pages())
+
+    def execute(self, op: Operation) -> Payload:
+        if op.name != "http":
+            raise ValueError(f"not an HTTP operation: {op.name!r}")
+        request = parse_request(op.body.content)
+        if request.method == "GET":
+            page = self._pages.get(request.path)
+            if page is None:
+                response = HttpResponse(404, body=b"not found")
+            else:
+                response = HttpResponse(200, body=page)
+        elif request.method == "POST":
+            existing = self._pages.get(request.path, b"")
+            updated = self._apply_post(existing, request.body)
+            self._pages[request.path] = updated
+            response = HttpResponse(200, body=updated)
+        else:
+            response = HttpResponse(405, reason="Method Not Allowed", body=b"")
+        return Payload(response.encode())
+
+    @staticmethod
+    def _apply_post(existing: bytes, posted: bytes) -> bytes:
+        """Deterministic page modification: splice the posted fragment in
+        front and keep the page size stable."""
+        if not existing:
+            return posted
+        combined = posted + existing
+        return combined[: len(existing)]
+
+    def execution_cost(self, op: Operation) -> float:
+        # Parsing + page handling, proportional to bytes touched.
+        return 2.0e-6 + 0.2e-9 * op.body.size
+
+    def keys_accessed(self, op: Operation) -> tuple[str, ...]:
+        return (op.key,)
+
+    def snapshot(self) -> bytes:
+        # Length-prefixed records: safe for arbitrary binary page bodies.
+        parts = []
+        for path in sorted(self._pages):
+            path_bytes = path.encode()
+            content = self._pages[path]
+            parts.append(len(path_bytes).to_bytes(4, "big"))
+            parts.append(path_bytes)
+            parts.append(len(content).to_bytes(4, "big"))
+            parts.append(content)
+        return b"".join(parts)
+
+    def restore(self, snapshot: bytes) -> None:
+        self._pages = {}
+        offset = 0
+        while offset < len(snapshot):
+            path_len = int.from_bytes(snapshot[offset: offset + 4], "big")
+            offset += 4
+            path = snapshot[offset: offset + path_len].decode()
+            offset += path_len
+            content_len = int.from_bytes(snapshot[offset: offset + 4], "big")
+            offset += 4
+            self._pages[path] = snapshot[offset: offset + content_len]
+            offset += content_len

@@ -1,0 +1,79 @@
+"""A key-value store application.
+
+Used by the examples and by the linearizability tests: unlike the echo
+service, values written are the values read back, so histories can be
+checked against the sequential KV specification.
+"""
+
+from __future__ import annotations
+
+from .base import Application, Operation, OpKind, Payload
+
+
+class KvStore(Application):
+    """Replicated string-keyed byte store."""
+
+    def __init__(self):
+        self._data: dict[str, bytes] = {}
+
+    def execute(self, op: Operation) -> Payload:
+        if op.kind is OpKind.WRITE:
+            if op.name == "put":
+                self._data[op.key] = op.body.content
+                return Payload(b"stored")
+            if op.name == "delete":
+                existed = op.key in self._data
+                self._data.pop(op.key, None)
+                return Payload(b"deleted" if existed else b"absent")
+            raise ValueError(f"unknown write operation: {op.name!r}")
+        if op.name == "get":
+            value = self._data.get(op.key)
+            if value is None:
+                return Payload(b"\x00missing")
+            return Payload(value)
+        if op.name == "size":
+            return Payload(str(len(self._data)).encode())
+        raise ValueError(f"unknown read operation: {op.name!r}")
+
+    def execution_cost(self, op: Operation) -> float:
+        return 0.8e-6 + 0.1e-9 * op.body.size
+
+    def snapshot(self) -> bytes:
+        # Length-prefixed records: safe for arbitrary binary values.
+        parts = []
+        for key in sorted(self._data):
+            key_bytes = key.encode()
+            value = self._data[key]
+            parts.append(len(key_bytes).to_bytes(4, "big"))
+            parts.append(key_bytes)
+            parts.append(len(value).to_bytes(4, "big"))
+            parts.append(value)
+        return b"".join(parts)
+
+    def restore(self, snapshot: bytes) -> None:
+        self._data = {}
+        offset = 0
+        while offset < len(snapshot):
+            key_len = int.from_bytes(snapshot[offset: offset + 4], "big")
+            offset += 4
+            key = snapshot[offset: offset + key_len].decode()
+            offset += key_len
+            value_len = int.from_bytes(snapshot[offset: offset + 4], "big")
+            offset += 4
+            self._data[key] = snapshot[offset: offset + value_len]
+            offset += value_len
+
+
+def put(key: str, value: bytes) -> Operation:
+    """Convenience constructor for a put operation."""
+    return Operation(OpKind.WRITE, "put", key, Payload(value))
+
+
+def get(key: str) -> Operation:
+    """Convenience constructor for a get operation."""
+    return Operation(OpKind.READ, "get", key)
+
+
+def delete(key: str) -> Operation:
+    """Convenience constructor for a delete operation."""
+    return Operation(OpKind.WRITE, "delete", key)

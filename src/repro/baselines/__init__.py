@@ -1,0 +1,12 @@
+"""Comparison systems: standalone server and Prophecy middlebox."""
+
+from .prophecy import ProphecyMiddlebox, ProphecyStats, SketchEntry
+from .standalone import StandaloneServer, StandaloneStats
+
+__all__ = [
+    "ProphecyMiddlebox",
+    "ProphecyStats",
+    "SketchEntry",
+    "StandaloneServer",
+    "StandaloneStats",
+]

@@ -1,0 +1,50 @@
+"""Benchmark harness: cluster builders, experiment runners, reporting."""
+
+from .clusters import (
+    WAN_DELAY,
+    BaselineCluster,
+    ProphecyCluster,
+    StandaloneCluster,
+    TroxyCluster,
+    build_baseline,
+    build_prophecy,
+    build_standalone,
+    build_troxy,
+)
+from .experiments import (
+    Point,
+    TableOneRow,
+    fig6_ordered_writes_local,
+    fig7_ordered_writes_wan,
+    fig8_reads_local,
+    fig9_reads_wan,
+    fig10_write_contention,
+    fig11_http_latency,
+    table1_rows,
+)
+from .report import format_latency_series, format_throughput_series, ratio, save_and_print
+
+__all__ = [
+    "BaselineCluster",
+    "Point",
+    "ProphecyCluster",
+    "StandaloneCluster",
+    "TableOneRow",
+    "TroxyCluster",
+    "WAN_DELAY",
+    "build_baseline",
+    "build_prophecy",
+    "build_standalone",
+    "build_troxy",
+    "fig10_write_contention",
+    "fig11_http_latency",
+    "fig6_ordered_writes_local",
+    "fig7_ordered_writes_wan",
+    "fig8_reads_local",
+    "fig9_reads_wan",
+    "format_latency_series",
+    "format_throughput_series",
+    "ratio",
+    "save_and_print",
+    "table1_rows",
+]

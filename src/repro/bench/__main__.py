@@ -1,0 +1,107 @@
+"""Command-line runner for the paper experiments.
+
+Usage::
+
+    python -m repro.bench fig6            # one experiment
+    python -m repro.bench fig7 fig9       # several
+    python -m repro.bench all             # everything (slow)
+    REPRO_BENCH_SCALE=0.3 python -m repro.bench all   # quick pass
+
+Prints the paper-style series and writes them to benchmarks/results/.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import experiments
+from .report import format_latency_series, format_throughput_series, save_and_print
+
+
+def run_fig6():
+    points = experiments.fig6_ordered_writes_local()
+    save_and_print("fig6", format_throughput_series(
+        "Fig. 6 — ordered writes, LAN (throughput vs request size)", points))
+
+
+def run_fig7():
+    points = experiments.fig7_ordered_writes_wan()
+    save_and_print("fig7", format_throughput_series(
+        "Fig. 7 — ordered writes, 100±20 ms WAN (throughput vs request size)", points))
+
+
+def run_fig8():
+    points = experiments.fig8_reads_local()
+    save_and_print("fig8", format_throughput_series(
+        "Fig. 8 — read-only workload, LAN (throughput vs reply size)", points))
+
+
+def run_fig9():
+    points = experiments.fig9_reads_wan()
+    save_and_print("fig9", format_throughput_series(
+        "Fig. 9 — read-only workload, 100±20 ms WAN (throughput vs reply size)", points))
+
+
+def run_fig10():
+    points = experiments.fig10_write_contention()
+    lines = ["Fig. 10 — 1 % writes, contended keys", "=" * 40]
+    for point in points:
+        lines.append(
+            f"{point.system:18s} {point.throughput:>10.0f} op/s   "
+            f"read conflicts {point.extra['conflict_rate'] * 100:5.1f}%"
+        )
+    save_and_print("fig10", "\n".join(lines))
+
+
+def run_fig11():
+    points = experiments.fig11_http_latency()
+    save_and_print("fig11", format_latency_series(
+        "Fig. 11 — HTTP service mean latency (GET/POST mix)", points))
+
+
+def run_table1():
+    rows = experiments.table1_rows()
+    lines = ["Table I — read optimizations and consistency", "=" * 46]
+    lines.append(f"{'System':>10} | {'Replicas':>8} | {'Read quorum':>22} | Consistency")
+    for row in rows:
+        lines.append(
+            f"{row.system:>10} | {row.replicas:>8} | {row.read_quorum:>22} | {row.consistency}"
+        )
+    lines.append("(consistency witnesses: run `pytest benchmarks/test_table1.py`)")
+    save_and_print("table1", "\n".join(lines))
+
+
+RUNNERS = {
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "table1": run_table1,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        choices=sorted(RUNNERS) + ["all"],
+        help="which experiments to run ('all' for every one)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(RUNNERS) if "all" in args.experiments else args.experiments
+    for name in names:
+        started = time.time()
+        RUNNERS[name]()
+        print(f"[{name} finished in {time.time() - started:.0f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

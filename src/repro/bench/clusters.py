@@ -1,0 +1,507 @@
+"""Deployment builders: wire nodes, replicas, Troxies, and clients.
+
+Every evaluated configuration in the paper maps to one builder here:
+
+* :func:`build_baseline` — original Hybster with the client-side library
+  ("BL"), PBFT-like read optimization available.
+* :func:`build_troxy` — Troxy-backed Hybster; ``boundary`` selects
+  *etroxy* (SGX costs), *ctroxy* (JNI costs, no enclave), or free.
+
+The topology mirrors the testbed (Section VI-A): replica machines on a
+LAN (quad 1 Gbps NICs, quad-core + HT), client machines whose links can
+carry an extra 100 +/- 20 ms normally distributed delay for the WAN
+scenarios, plus configurable client access bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..apps.base import Application
+from ..crypto.keys import KeyRing
+from ..hybster.client import BftClient, ClientMachine
+from ..hybster.config import ClusterConfig
+from ..hybster.replica import Replica
+from ..troxy.cache import FastReadCache
+from ..troxy.core import TroxyCore
+from ..troxy.host import TroxyHost
+from ..troxy.monitor import ConflictMonitor
+from ..workloads.legacy import LegacyClient
+from ..baselines.prophecy import ProphecyMiddlebox
+from ..baselines.standalone import StandaloneServer
+from ..sgx.attestation import AttestationService, provision_keys
+from ..sgx.counters import TrustedCounterSubsystem
+from ..sgx.enclave import (
+    SGX_ECALL,
+    Enclave,
+    jni_enclave,
+    null_enclave,
+)
+from ..sgx.sealed import SealedStorage
+from ..sim.engine import Environment
+from ..sim.network import (
+    GBPS,
+    ConstantLatency,
+    UniformLatency,
+    LatencyModel,
+    Network,
+    NicConfig,
+    NormalLatency,
+)
+from ..sim.rng import RngTree
+from ..sim.trace import Tracer
+
+# Loaded GbE + kernel scheduling: tens-of-microseconds jitter. The
+# jitter matters: replica execution skew is what makes concurrent
+# reads conflict with in-flight writes (Fig. 10).
+LAN_LATENCY = UniformLatency(30e-6, 90e-6)
+WAN_DELAY = NormalLatency(0.100, 0.020)
+MASTER_SECRET = b"troxy-repro-master-secret-0001"
+
+
+@dataclass
+class BaselineCluster:
+    """A running baseline (BL) deployment."""
+
+    env: Environment
+    net: Network
+    config: ClusterConfig
+    keyring: KeyRing
+    replicas: list[Replica]
+    machines: list[ClientMachine]
+    tracer: Tracer
+    attestation: AttestationService
+    _client_counter: int = 0
+
+    @property
+    def leader(self) -> Replica:
+        view = max(replica.view for replica in self.replicas)
+        leader_id = self.config.leader_of(view)
+        return next(r for r in self.replicas if r.replica_id == leader_id)
+
+    def new_client(
+        self,
+        read_optimization: bool = True,
+        request_distribution: str = "leader",
+    ) -> BftClient:
+        machine = self.machines[self._client_counter % len(self.machines)]
+        self._client_counter += 1
+        client = BftClient(
+            machine,
+            client_id=f"client-{self._client_counter}",
+            config=self.config,
+            keyring=self.keyring,
+            read_optimization=read_optimization,
+            request_distribution=request_distribution,
+        )
+        client.connect(self.replicas)
+        return client
+
+
+def _wan_client_links(net: Network, machine_names, replica_ids, wan: LatencyModel) -> None:
+    for machine_name in machine_names:
+        for replica_id in replica_ids:
+            net.set_latency_symmetric(machine_name, replica_id, wan)
+
+
+def make_trusted_subsystem(
+    replica_id: str,
+    keyring: KeyRing,
+    attestation: AttestationService,
+    enclave: Enclave,
+    platform_id: str,
+) -> TrustedCounterSubsystem:
+    """Attest the enclave, then provision it with the group secret.
+
+    Returns the counter subsystem holding the provisioned key, backed by
+    sealed storage (counters survive enclave reboots).
+    """
+    provisioned = provision_keys(
+        attestation, platform_id, enclave, enclave.measurement, keyring
+    )
+    storage = SealedStorage(MASTER_SECRET + platform_id.encode(), enclave.measurement)
+    return TrustedCounterSubsystem(replica_id, provisioned.troxy_group(), storage=storage)
+
+
+def build_baseline(
+    seed: int = 0,
+    f: int = 1,
+    app_factory: Callable[[], Application] = None,
+    client_machines: int = 2,
+    wan: Optional[LatencyModel] = None,
+    client_nic: Optional[NicConfig] = None,
+    replica_cores: int = 8,
+    config: Optional[ClusterConfig] = None,
+    trace: bool = False,
+) -> BaselineCluster:
+    """Assemble the original Hybster deployment with client-side voting."""
+    if app_factory is None:
+        raise ValueError("app_factory is required")
+    config = config or ClusterConfig(f=f)
+    env = Environment()
+    rng = RngTree(seed)
+    tracer = Tracer(enabled=trace)
+    net = Network(env, rng_tree=rng, default_latency=LAN_LATENCY, tracer=tracer)
+    keyring = KeyRing(MASTER_SECRET)
+    attestation = AttestationService(MASTER_SECRET + b"/ias")
+
+    replicas = []
+    for replica_id in config.replica_ids:
+        node = net.add_node(replica_id, cores=replica_cores)
+        attestation.register_platform(replica_id)
+        # Hybster's own trusted subsystem runs in SGX reached over JNI.
+        boundary = jni_enclave(node, f"tss-{replica_id}", code_identity="hybster-tss-v1")
+        counters = make_trusted_subsystem(
+            replica_id, keyring, attestation, boundary, replica_id
+        )
+        replica = Replica(
+            env=env,
+            net=net,
+            node=node,
+            replica_id=replica_id,
+            config=config,
+            app=app_factory(),
+            keyring=keyring,
+            counters=counters,
+            trusted_boundary=boundary,
+            tracer=tracer,
+        )
+        replicas.append(replica)
+
+    machines = []
+    for i in range(client_machines):
+        name = f"client-machine-{i}"
+        node = net.add_node(name, cores=replica_cores, nic=client_nic)
+        machines.append(ClientMachine(env, net, node))
+    if wan is not None:
+        _wan_client_links(net, [m.node.name for m in machines], config.replica_ids, wan)
+
+    return BaselineCluster(
+        env=env,
+        net=net,
+        config=config,
+        keyring=keyring,
+        replicas=replicas,
+        machines=machines,
+        tracer=tracer,
+        attestation=attestation,
+    )
+
+
+@dataclass
+class TroxyCluster:
+    """A running Troxy-backed deployment."""
+
+    env: Environment
+    net: Network
+    config: ClusterConfig
+    keyring: KeyRing
+    replicas: list[Replica]
+    hosts: list[TroxyHost]
+    cores: list[TroxyCore]
+    machines: list[ClientMachine]
+    tracer: Tracer
+    attestation: AttestationService
+    _client_counter: int = 0
+
+    def host_of(self, replica_id: str) -> TroxyHost:
+        return next(h for h in self.hosts if h.replica_id == replica_id)
+
+    def new_client(
+        self,
+        contact_index: Optional[int] = None,
+        request_timeout: float = 2.0,
+    ) -> LegacyClient:
+        """A pre-connected legacy client; contacts are round-robin unless
+        pinned ("Troxy allows connections to any replica")."""
+        machine = self.machines[self._client_counter % len(self.machines)]
+        if contact_index is None:
+            contact_index = self._client_counter % len(self.hosts)
+        self._client_counter += 1
+        client = LegacyClient(
+            machine,
+            client_id=f"client-{self._client_counter}",
+            keyring=self.keyring,
+            hosts=self.hosts,
+            contact_index=contact_index,
+            request_timeout=request_timeout,
+        )
+        client.connect_instant()
+        return client
+
+
+BOUNDARIES = {
+    "sgx": SGX_ECALL,  # etroxy: Troxy inside an SGX enclave
+    "jni": None,  # ctroxy: C/C++ outside SGX, reached over JNI
+    "none": None,  # free boundary (ablations)
+}
+
+
+def build_troxy(
+    seed: int = 0,
+    f: int = 1,
+    app_factory: Callable[[], Application] = None,
+    boundary: str = "sgx",
+    fast_reads: bool = True,
+    client_machines: int = 2,
+    wan: Optional[LatencyModel] = None,
+    client_nic: Optional[NicConfig] = None,
+    replica_cores: int = 8,
+    config: Optional[ClusterConfig] = None,
+    monitor_factory: Callable[[], ConflictMonitor] = None,
+    cache_entries: int = 65536,
+    cache_outside: bool = True,
+    epc_bytes: Optional[int] = None,
+    query_timeout: float = 0.1,
+    trace: bool = False,
+) -> TroxyCluster:
+    """Assemble a Troxy-backed Hybster deployment.
+
+    ``boundary`` selects the prototype variant: ``"sgx"`` is *etroxy*
+    (enclave transition costs), ``"jni"`` is *ctroxy* (C/C++ outside
+    SGX), ``"none"`` removes the boundary entirely (ablation).
+    """
+    if app_factory is None:
+        raise ValueError("app_factory is required")
+    if boundary not in BOUNDARIES:
+        raise ValueError(f"boundary must be one of {sorted(BOUNDARIES)}: {boundary!r}")
+    config = config or ClusterConfig(f=f)
+    env = Environment()
+    rng = RngTree(seed)
+    tracer = Tracer(enabled=trace)
+    net = Network(env, rng_tree=rng, default_latency=LAN_LATENCY, tracer=tracer)
+    keyring = KeyRing(MASTER_SECRET)
+    attestation = AttestationService(MASTER_SECRET + b"/ias")
+
+    replicas, hosts, cores = [], [], []
+    for replica_id in config.replica_ids:
+        node = net.add_node(replica_id, cores=replica_cores)
+        attestation.register_platform(replica_id)
+        tss_boundary = jni_enclave(node, f"tss-{replica_id}", code_identity="hybster-tss-v1")
+        counters = make_trusted_subsystem(
+            replica_id, keyring, attestation, tss_boundary, replica_id
+        )
+        replica = Replica(
+            env=env,
+            net=net,
+            node=node,
+            replica_id=replica_id,
+            config=config,
+            app=app_factory(),
+            keyring=keyring,
+            counters=counters,
+            trusted_boundary=tss_boundary,
+            tracer=tracer,
+            owns_inbox=False,
+        )
+        if boundary == "sgx":
+            enclave_kwargs = {} if epc_bytes is None else {"epc_bytes": epc_bytes}
+            troxy_enclave = Enclave(
+                node, f"troxy-{replica_id}", code_identity="troxy-v1",
+                costs=SGX_ECALL, **enclave_kwargs,
+            )
+            runtime = "cpp_sgx"
+        elif boundary == "jni":
+            troxy_enclave = jni_enclave(node, f"troxy-{replica_id}", code_identity="troxy-v1")
+            runtime = "cpp"
+        else:
+            troxy_enclave = null_enclave(node, f"troxy-{replica_id}")
+            runtime = "cpp"
+        # The Troxy enclave is attested before receiving the cluster keys.
+        provisioned = provision_keys(
+            attestation, replica_id, troxy_enclave, troxy_enclave.measurement, keyring
+        )
+        core = TroxyCore(
+            node=node,
+            enclave=troxy_enclave,
+            replica_id=replica_id,
+            config=config,
+            keyring=provisioned,
+            rng=rng.derive("troxy", replica_id),
+            runtime=runtime,
+            fast_reads=fast_reads,
+            cache=FastReadCache(
+                troxy_enclave, max_entries=cache_entries, store_outside=cache_outside
+            ),
+            monitor=monitor_factory() if monitor_factory else ConflictMonitor(),
+        )
+        host = TroxyHost(
+            env=env,
+            net=net,
+            node=node,
+            replica=replica,
+            core=core,
+            enclave=troxy_enclave,
+            query_timeout=query_timeout,
+        )
+        replicas.append(replica)
+        hosts.append(host)
+        cores.append(core)
+
+    machines = []
+    for i in range(client_machines):
+        name = f"client-machine-{i}"
+        node = net.add_node(name, cores=replica_cores, nic=client_nic)
+        machines.append(ClientMachine(env, net, node))
+    if wan is not None:
+        _wan_client_links(net, [m.node.name for m in machines], config.replica_ids, wan)
+
+    return TroxyCluster(
+        env=env,
+        net=net,
+        config=config,
+        keyring=keyring,
+        replicas=replicas,
+        hosts=hosts,
+        cores=cores,
+        machines=machines,
+        tracer=tracer,
+        attestation=attestation,
+    )
+
+
+@dataclass
+class StandaloneCluster:
+    """A running unreplicated deployment (the Jetty stand-in)."""
+
+    env: Environment
+    net: Network
+    keyring: KeyRing
+    server: "StandaloneServer"
+    machines: list[ClientMachine]
+    tracer: Tracer
+    _client_counter: int = 0
+
+    def new_client(self, request_timeout: float = 2.0) -> LegacyClient:
+        machine = self.machines[self._client_counter % len(self.machines)]
+        self._client_counter += 1
+        client = LegacyClient(
+            machine,
+            client_id=f"client-{self._client_counter}",
+            keyring=self.keyring,
+            hosts=[self.server],
+            request_timeout=request_timeout,
+        )
+        client.connect_instant()
+        return client
+
+
+def build_standalone(
+    seed: int = 0,
+    app_factory: Callable[[], Application] = None,
+    client_machines: int = 2,
+    wan: Optional[LatencyModel] = None,
+    client_nic: Optional[NicConfig] = None,
+    server_cores: int = 8,
+    trace: bool = False,
+) -> StandaloneCluster:
+    """Assemble a single non-fault-tolerant server (latency floor)."""
+    if app_factory is None:
+        raise ValueError("app_factory is required")
+    env = Environment()
+    rng = RngTree(seed)
+    tracer = Tracer(enabled=trace)
+    net = Network(env, rng_tree=rng, default_latency=LAN_LATENCY, tracer=tracer)
+    keyring = KeyRing(MASTER_SECRET)
+    node = net.add_node("server-0", cores=server_cores)
+    server = StandaloneServer(env, net, node, app_factory())
+    machines = []
+    for i in range(client_machines):
+        name = f"client-machine-{i}"
+        machines.append(ClientMachine(env, net, net.add_node(name, nic=client_nic)))
+    if wan is not None:
+        _wan_client_links(net, [m.node.name for m in machines], ["server-0"], wan)
+    return StandaloneCluster(
+        env=env, net=net, keyring=keyring, server=server, machines=machines, tracer=tracer
+    )
+
+
+@dataclass
+class ProphecyCluster:
+    """A running Prophecy-middlebox deployment."""
+
+    env: Environment
+    net: Network
+    config: ClusterConfig
+    keyring: KeyRing
+    replicas: list[Replica]
+    middlebox: "ProphecyMiddlebox"
+    machines: list[ClientMachine]
+    tracer: Tracer
+    _client_counter: int = 0
+
+    def new_client(self, request_timeout: float = 2.0) -> LegacyClient:
+        machine = self.machines[self._client_counter % len(self.machines)]
+        self._client_counter += 1
+        client = LegacyClient(
+            machine,
+            client_id=f"client-{self._client_counter}",
+            keyring=self.keyring,
+            hosts=[self.middlebox],
+            request_timeout=request_timeout,
+        )
+        client.connect_instant()
+        return client
+
+
+def build_prophecy(
+    seed: int = 0,
+    f: int = 1,
+    app_factory: Callable[[], Application] = None,
+    client_machines: int = 2,
+    wan: Optional[LatencyModel] = None,
+    client_nic: Optional[NicConfig] = None,
+    replica_cores: int = 8,
+    config: Optional[ClusterConfig] = None,
+    trace: bool = False,
+) -> ProphecyCluster:
+    """Assemble the Prophecy comparator: replicas + middlebox + clients.
+
+    The middlebox lives in the server-side LAN ("their voters are close
+    to the replicas"); WAN delay, when configured, applies between the
+    client machines and the middlebox.
+    """
+    if app_factory is None:
+        raise ValueError("app_factory is required")
+    config = config or ClusterConfig(f=f)
+    env = Environment()
+    rng = RngTree(seed)
+    tracer = Tracer(enabled=trace)
+    net = Network(env, rng_tree=rng, default_latency=LAN_LATENCY, tracer=tracer)
+    keyring = KeyRing(MASTER_SECRET)
+    attestation = AttestationService(MASTER_SECRET + b"/ias")
+
+    replicas = []
+    for replica_id in config.replica_ids:
+        node = net.add_node(replica_id, cores=replica_cores)
+        attestation.register_platform(replica_id)
+        boundary = jni_enclave(node, f"tss-{replica_id}", code_identity="hybster-tss-v1")
+        counters = make_trusted_subsystem(
+            replica_id, keyring, attestation, boundary, replica_id
+        )
+        replicas.append(
+            Replica(
+                env=env, net=net, node=node, replica_id=replica_id, config=config,
+                app=app_factory(), keyring=keyring, counters=counters,
+                trusted_boundary=boundary, tracer=tracer,
+            )
+        )
+
+    mb_node = net.add_node("prophecy-mb", cores=replica_cores)
+    middlebox = ProphecyMiddlebox(
+        env=env, net=net, node=mb_node, config=config, keyring=keyring,
+        replicas=replicas, rng=rng.derive("prophecy"),
+    )
+
+    machines = []
+    for i in range(client_machines):
+        name = f"client-machine-{i}"
+        machines.append(ClientMachine(env, net, net.add_node(name, nic=client_nic)))
+    if wan is not None:
+        _wan_client_links(net, [m.node.name for m in machines], ["prophecy-mb"], wan)
+
+    return ProphecyCluster(
+        env=env, net=net, config=config, keyring=keyring, replicas=replicas,
+        middlebox=middlebox, machines=machines, tracer=tracer,
+    )

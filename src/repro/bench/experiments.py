@@ -1,0 +1,390 @@
+"""Experiment runners: one function per table/figure of the evaluation.
+
+Every function returns structured rows (and prints nothing); the
+``benchmarks/`` suite formats them into the paper-style series and
+asserts the reproduced *shapes*. Workload parameters follow Section VI:
+echo service with configurable reply sizes, 100 +/- 20 ms WAN delay on
+client links, 1 % writes for the contention scenario, and the HTTP page
+service at ~500 req/s for Fig. 11.
+
+Scale: set ``REPRO_BENCH_SCALE`` < 1.0 (e.g. 0.3) to shrink client
+counts and measurement windows for quick runs; shapes are preserved.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..analysis.metrics import Collector, Summary
+from ..apps.base import Operation, OpKind, Payload
+from ..apps.echo import EchoService
+from ..apps.httpd import HttpPageService, get_operation, post_operation, seed_pages
+from ..sim.network import GBPS, NicConfig
+from ..troxy.monitor import ConflictMonitor
+from ..workloads.loadgen import ClosedLoop, PacedLoop
+from .clusters import (
+    WAN_DELAY,
+    build_baseline,
+    build_prophecy,
+    build_standalone,
+    build_troxy,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+REQUEST_SIZES = (256, 1024, 4096, 8192)
+REPLY_SIZES = (256, 1024, 4096, 8192)
+
+#: WAN access link of each client machine. The testbed shapes client
+#: traffic with netem; a finite-bandwidth access link is our equivalent
+#: constraint (DESIGN.md, substitutions).
+WAN_CLIENT_NIC = NicConfig(count=1, bandwidth=0.25 * GBPS)
+
+
+def _scaled(value: int, minimum: int = 4) -> int:
+    return max(minimum, int(value * SCALE))
+
+
+@dataclass(frozen=True)
+class Point:
+    """One measured configuration."""
+
+    figure: str
+    system: str
+    x: object
+    summary: Summary
+    extra: dict = None
+
+    @property
+    def throughput(self) -> float:
+        return self.summary.throughput
+
+    @property
+    def latency_ms(self) -> float:
+        return self.summary.mean_latency * 1000
+
+
+def write_source(size: int, key_space: int = 64) -> Callable[[int, int], Operation]:
+    def source(i: int, seq: int) -> Operation:
+        return Operation(
+            OpKind.WRITE, "set", key=f"k{(i + seq) % key_space}",
+            body=Payload(b"w", padded_size=size),
+        )
+
+    return source
+
+
+def read_source(request_size: int = 10, key_space: int = 16) -> Callable[[int, int], Operation]:
+    def source(i: int, seq: int) -> Operation:
+        return Operation(
+            OpKind.READ, "get", key=f"k{(i + seq) % key_space}",
+            body=Payload(b"r", padded_size=request_size),
+        )
+
+    return source
+
+
+def mixed_source(
+    write_ratio: float, rng, request_size: int = 10, key_space: int = 16
+) -> Callable[[int, int], Operation]:
+    def source(i: int, seq: int) -> Operation:
+        key = f"k{(i + seq) % key_space}"
+        if rng.random() < write_ratio:
+            return Operation(OpKind.WRITE, "set", key=key,
+                             body=Payload(b"w", padded_size=request_size))
+        return Operation(OpKind.READ, "get", key=key,
+                         body=Payload(b"r", padded_size=request_size))
+
+    return source
+
+
+def _run_system(
+    system: str,
+    op_source,
+    reply_size: int,
+    n_clients: int,
+    warmup: float,
+    duration: float,
+    wan=None,
+    client_nic: Optional[NicConfig] = None,
+    seed: int = 42,
+    read_optimization: bool = True,
+    monitor_factory=None,
+    fast_reads: bool = True,
+    replica_cores: int = 2,
+    request_distribution: str = "leader",
+):
+    """Build one deployment, drive it closed-loop, return (cluster, Summary).
+
+    ``replica_cores`` defaults to 2 (not the testbed's 8): it scales the
+    saturation point down so the simulation reaches it with far fewer
+    events. Every compared system is scaled identically, so throughput
+    *ratios* — the reproduced quantity — are unaffected.
+    """
+    app_factory = lambda: EchoService(reply_size=reply_size)  # noqa: E731
+    if system == "bl":
+        cluster = build_baseline(
+            seed=seed, app_factory=app_factory, wan=wan, client_nic=client_nic,
+            replica_cores=replica_cores,
+        )
+        clients = [
+            cluster.new_client(
+                read_optimization=read_optimization,
+                request_distribution=request_distribution,
+            )
+            for _ in range(n_clients)
+        ]
+    elif system in ("ctroxy", "etroxy"):
+        cluster = build_troxy(
+            seed=seed,
+            app_factory=app_factory,
+            boundary="jni" if system == "ctroxy" else "sgx",
+            wan=wan,
+            client_nic=client_nic,
+            monitor_factory=monitor_factory,
+            fast_reads=fast_reads,
+            replica_cores=replica_cores,
+        )
+        clients = [cluster.new_client() for _ in range(n_clients)]
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    loadgen = ClosedLoop(cluster.env, clients, op_source, Collector())
+    loadgen.start()
+    start = cluster.env.now
+    cluster.env.run(until=start + warmup + duration)
+    summary = loadgen.collector.summarize(start + warmup, start + warmup + duration)
+    return cluster, summary
+
+
+# -- Fig. 6 / Fig. 7: totally ordered requests --------------------------------------
+
+
+def fig6_ordered_writes_local(
+    sizes=REQUEST_SIZES, n_clients: Optional[int] = None, duration: float = 0.25
+) -> list[Point]:
+    """Write-only workload, 10 B replies, LAN (Fig. 6)."""
+    n_clients = n_clients if n_clients is not None else _scaled(64, minimum=16)
+    points = []
+    for size in sizes:
+        for system in ("bl", "ctroxy", "etroxy"):
+            _, summary = _run_system(
+                system, write_source(size), reply_size=10,
+                n_clients=n_clients, warmup=0.1, duration=duration,
+            )
+            points.append(Point("fig6", system, size, summary))
+    return points
+
+
+def fig7_ordered_writes_wan(
+    sizes=REQUEST_SIZES, n_clients: Optional[int] = None, duration: float = 2.0
+) -> list[Point]:
+    """Write-only workload with 100 +/- 20 ms client-link delay (Fig. 7).
+
+    The baseline runs its client-side library in full: requests are
+    distributed to every replica and f+1 matching replies cross the WAN
+    back, so the constrained client access link carries n times the
+    request bytes. Troxy clients exchange one request and one reply.
+    """
+    n_clients = n_clients if n_clients is not None else _scaled(850, minimum=64)
+    points = []
+    for size in sizes:
+        for system in ("bl", "etroxy"):
+            _, summary = _run_system(
+                system, write_source(size), reply_size=10,
+                n_clients=n_clients, warmup=1.5, duration=duration,
+                wan=WAN_DELAY, client_nic=WAN_CLIENT_NIC,
+                request_distribution="all",
+            )
+            points.append(Point("fig7", system, size, summary))
+    return points
+
+
+# -- Fig. 8 / Fig. 9: read-only workloads -----------------------------------------------
+
+
+def fig8_reads_local(
+    reply_sizes=REPLY_SIZES, n_clients: Optional[int] = None, duration: float = 0.25
+) -> list[Point]:
+    """Read-only workload, 10 B requests, LAN (Fig. 8). BL uses the
+    PBFT-like read optimization, Troxy the fast-read cache."""
+    n_clients = n_clients if n_clients is not None else _scaled(64, minimum=16)
+    points = []
+    for reply_size in reply_sizes:
+        for system in ("bl", "etroxy"):
+            _, summary = _run_system(
+                system, read_source(), reply_size=reply_size,
+                n_clients=n_clients, warmup=0.1, duration=duration,
+            )
+            points.append(Point("fig8", system, reply_size, summary))
+    return points
+
+
+def fig9_reads_wan(
+    reply_sizes=REPLY_SIZES, n_clients: Optional[int] = None, duration: float = 2.0
+) -> list[Point]:
+    """Read-only workload over the WAN (Fig. 9).
+
+    The baseline's read optimization downloads 2f+1 full replies over
+    the constrained client access link; Troxy sends one (remote cache
+    checks exchange only hashes, on the server LAN).
+    """
+    n_clients = n_clients if n_clients is not None else _scaled(1200, minimum=64)
+    points = []
+    for reply_size in reply_sizes:
+        for system in ("bl", "etroxy"):
+            _, summary = _run_system(
+                system, read_source(), reply_size=reply_size,
+                n_clients=n_clients, warmup=1.5, duration=duration,
+                wan=WAN_DELAY, client_nic=WAN_CLIENT_NIC,
+                request_distribution="all",
+            )
+            points.append(Point("fig9", system, reply_size, summary))
+    return points
+
+
+# -- Fig. 10: concurrency handling -----------------------------------------------------------
+
+
+def fig10_write_contention(
+    n_clients: Optional[int] = None,
+    duration: float = 0.4,
+    reply_size: int = 4096,
+    key_space: int = 1,
+    write_ratio: float = 0.01,
+) -> list[Point]:
+    """1 % writes among reads on a small, contended key space (Fig. 10).
+
+    Five bars: BL read-opt, BL all-ordered (reference), Troxy fast-read
+    without the adaptive switch, Troxy with it, Troxy all-ordered
+    (reference). The reported conflict rate is client-observed for the
+    baseline (failed read quorums) and Troxy-observed for the fast-read
+    cache (quorum mismatches / invalidated entries per fast attempt)."""
+    import random
+
+    n_clients = n_clients if n_clients is not None else _scaled(64, minimum=16)
+    points = []
+
+    def run(system, label, read_optimization=True, fast_reads=True, monitor_factory=None):
+        rng = random.Random(1234)
+        cluster, summary = _run_system(
+            system, mixed_source(write_ratio, rng, key_space=key_space),
+            reply_size=reply_size, n_clients=n_clients, warmup=0.15,
+            duration=duration, read_optimization=read_optimization,
+            fast_reads=fast_reads, monitor_factory=monitor_factory,
+        )
+        if system == "bl":
+            conflict_rate = summary.conflict_rate
+        else:
+            attempts = sum(c.stats.fast_read_attempts for c in cluster.cores)
+            conflicts = sum(
+                c.stats.fast_read_conflicts + c.stats.fast_read_timeouts
+                + c.cache.stats.misses
+                for c in cluster.cores
+            )
+            conflict_rate = conflicts / attempts if attempts else 0.0
+        points.append(
+            Point("fig10", label, write_ratio, summary,
+                  extra={"conflict_rate": conflict_rate})
+        )
+
+    run("bl", "bl-read-opt")
+    run("bl", "bl-ordered", read_optimization=False)
+    # Troxy with the conflict monitor effectively disabled (threshold 1.0).
+    run(
+        "etroxy", "troxy-fast-read",
+        monitor_factory=lambda: ConflictMonitor(threshold=1.0),
+    )
+    # Troxy with the adaptive total-order switch at its default threshold.
+    run("etroxy", "troxy-adaptive")
+    run("etroxy", "troxy-ordered", fast_reads=False)
+    return points
+
+
+# -- Fig. 11: HTTP service latency ----------------------------------------------------------------
+
+
+def fig11_http_latency(
+    n_clients: Optional[int] = None,
+    total_rate: float = 500.0,
+    duration: float = 3.0,
+    wan_only: bool = False,
+) -> list[Point]:
+    """Mean latency of the HTTP page service at a non-saturating load,
+    local network and WAN (Fig. 11)."""
+    import random
+
+    n_clients = n_clients if n_clients is not None else _scaled(100, minimum=20)
+    rate_per_client = total_rate / n_clients
+    pages = sorted(seed_pages().keys())
+    points = []
+
+    def op_source_factory(seed):
+        rng = random.Random(seed)
+
+        def source(i, seq):
+            page = pages[(i * 7 + seq) % len(pages)]
+            if rng.random() < 0.10:  # GET-heavy mix with some POSTs
+                return post_operation(page, b"p" * 200)
+            return get_operation(page, extra_payload=170)
+
+        return source
+
+    scenarios = [("wan", WAN_DELAY)] if wan_only else [("local", None), ("wan", WAN_DELAY)]
+    for scenario, wan in scenarios:
+        nic = WAN_CLIENT_NIC if wan is not None else None
+        for system in ("jetty", "bl", "prophecy", "troxy"):
+            if system == "jetty":
+                cluster = build_standalone(
+                    seed=42, app_factory=HttpPageService, wan=wan, client_nic=nic
+                )
+                clients = [cluster.new_client() for _ in range(n_clients)]
+            elif system == "bl":
+                cluster = build_baseline(
+                    seed=42, app_factory=HttpPageService, wan=wan, client_nic=nic
+                )
+                clients = [cluster.new_client() for _ in range(n_clients)]
+            elif system == "prophecy":
+                cluster = build_prophecy(
+                    seed=42, app_factory=HttpPageService, wan=wan, client_nic=nic
+                )
+                clients = [cluster.new_client() for _ in range(n_clients)]
+            else:
+                cluster = build_troxy(
+                    seed=42, app_factory=HttpPageService, wan=wan, client_nic=nic
+                )
+                clients = [cluster.new_client() for _ in range(n_clients)]
+            loadgen = PacedLoop(
+                cluster.env, clients, op_source_factory(7), Collector(),
+                rate_per_client=rate_per_client,
+            )
+            loadgen.start()
+            start = cluster.env.now
+            warmup = 1.0
+            cluster.env.run(until=start + warmup + duration)
+            summary = loadgen.collector.summarize(start + warmup, start + warmup + duration)
+            points.append(Point("fig11", system, scenario, summary))
+    return points
+
+
+# -- Table I ------------------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableOneRow:
+    system: str
+    replicas: str
+    read_quorum: str
+    consistency: str
+
+
+def table1_rows() -> list[TableOneRow]:
+    """The static system comparison (Table I). Prophecy's replica count
+    reflects its PBFT base; the consistency column is *verified* by
+    tests/baselines (stale-read witness) and the linearizability suite."""
+    return [
+        TableOneRow("BL", "2f+1", "f+1 replicas", "Strong"),
+        TableOneRow("Prophecy", "3f+1", "1 replica + middlebox", "Weak"),
+        TableOneRow("Troxy", "2f+1", "f+1 replicas", "Strong"),
+    ]

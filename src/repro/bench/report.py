@@ -1,0 +1,76 @@
+"""Formatting of experiment results into paper-style tables."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from .experiments import Point
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+
+
+def format_throughput_series(title: str, points: Iterable[Point], x_label: str = "size") -> str:
+    """Render throughput points as a series table (one row per x value)."""
+    points = list(points)
+    systems = []
+    for point in points:
+        if point.system not in systems:
+            systems.append(point.system)
+    xs = []
+    for point in points:
+        if point.x not in xs:
+            xs.append(point.x)
+    by_key = {(p.system, p.x): p for p in points}
+    lines = [title, "=" * len(title)]
+    header = f"{x_label:>10} | " + " | ".join(f"{s:>18}" for s in systems)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in xs:
+        cells = []
+        for system in systems:
+            point = by_key.get((system, x))
+            cells.append(f"{point.throughput:>12.0f} op/s" if point else " " * 18)
+        lines.append(f"{str(x):>10} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def format_latency_series(title: str, points: Iterable[Point], x_label: str = "net") -> str:
+    points = list(points)
+    systems = []
+    for point in points:
+        if point.system not in systems:
+            systems.append(point.system)
+    xs = []
+    for point in points:
+        if point.x not in xs:
+            xs.append(point.x)
+    by_key = {(p.system, p.x): p for p in points}
+    lines = [title, "=" * len(title)]
+    header = f"{x_label:>10} | " + " | ".join(f"{s:>16}" for s in systems)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in xs:
+        cells = []
+        for system in systems:
+            point = by_key.get((system, x))
+            cells.append(f"{point.latency_ms:>12.2f} ms" if point else " " * 16)
+        lines.append(f"{str(x):>10} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def ratio(points: list[Point], system_a: str, system_b: str, x) -> float:
+    """throughput(a) / throughput(b) at the given x."""
+    a = next(p for p in points if p.system == system_a and p.x == x)
+    b = next(p for p in points if p.system == system_b and p.x == x)
+    if b.throughput == 0:
+        raise ZeroDivisionError(f"{system_b} measured zero throughput at {x}")
+    return a.throughput / b.throughput
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    print("\n" + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,48 @@
+"""Cryptographic substrate: real primitives, cost profiles, simulated TLS.
+
+* :mod:`repro.crypto.primitives` — SHA-256, HMAC keys (real digests).
+* :mod:`repro.crypto.costs` — per-runtime CPU cost profiles
+  (``JAVA``/``CPP``/``CPP_SGX``) charged as simulated time.
+* :mod:`repro.crypto.tls` — sessions with integrity + replay protection.
+* :mod:`repro.crypto.keys` — cluster key derivation (KeyRing).
+"""
+
+from .costs import CPP, CPP_SGX, JAVA, OpCost, RuntimeProfile, profile
+from .keys import KeyRing
+from .primitives import DIGEST_SIZE, MAC_SIZE, MacKey, derive_key, digest_of, sha256
+from .tls import (
+    HANDSHAKE_BYTES,
+    HANDSHAKE_CPU,
+    HANDSHAKE_FLIGHTS,
+    TLS_RECORD_OVERHEAD,
+    TlsEndpoint,
+    TlsError,
+    TlsRecord,
+    TlsSession,
+    establish_session,
+)
+
+__all__ = [
+    "CPP",
+    "CPP_SGX",
+    "DIGEST_SIZE",
+    "HANDSHAKE_BYTES",
+    "HANDSHAKE_CPU",
+    "HANDSHAKE_FLIGHTS",
+    "JAVA",
+    "KeyRing",
+    "MAC_SIZE",
+    "MacKey",
+    "OpCost",
+    "RuntimeProfile",
+    "TLS_RECORD_OVERHEAD",
+    "TlsEndpoint",
+    "TlsError",
+    "TlsRecord",
+    "TlsSession",
+    "derive_key",
+    "digest_of",
+    "establish_session",
+    "profile",
+    "sha256",
+]

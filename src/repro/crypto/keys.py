@@ -1,0 +1,59 @@
+"""Key management for a Troxy-backed cluster.
+
+A :class:`KeyRing` derives every symmetric key in the system from one
+master secret:
+
+* pairwise replica-to-replica HMAC keys (BFT message authentication);
+* the Troxy *group secret* shared among all Troxies — used with a
+  per-Troxy identifier to authenticate replica replies and cache
+  queries (Section IV-A);
+* per-principal TLS master secrets.
+
+In the real system these keys reach the enclave through SGX remote
+attestation and provisioning; :mod:`repro.sgx.attestation` models that
+step, after which the enclave holds a KeyRing view.
+"""
+
+from __future__ import annotations
+
+from .primitives import MacKey, derive_key
+
+
+class KeyRing:
+    """Derives and caches the cluster's symmetric keys."""
+
+    def __init__(self, master_secret: bytes):
+        if len(master_secret) < 16:
+            raise ValueError("master secret must be at least 16 bytes")
+        self._master = master_secret
+        self._cache: dict[str, MacKey] = {}
+
+    def _key(self, *labels: str) -> MacKey:
+        key_id = "/".join(labels)
+        key = self._cache.get(key_id)
+        if key is None:
+            key = MacKey(key_id, derive_key(self._master, *labels))
+            self._cache[key_id] = key
+        return key
+
+    def pairwise(self, a: str, b: str) -> MacKey:
+        """Shared HMAC key between principals ``a`` and ``b`` (symmetric)."""
+        first, second = sorted((a, b))
+        return self._key("pair", first, second)
+
+    def troxy_group(self) -> MacKey:
+        """The secret shared among all Troxies (reply authentication)."""
+        return self._key("troxy-group")
+
+    def troxy_instance(self, troxy_name: str) -> MacKey:
+        """Group secret bound to one Troxy's identifier.
+
+        The paper authenticates a local reply with "an HMAC that is based
+        on a shared secret, which is known amongst all Troxies, and an
+        identifier specific to each Troxy instance".
+        """
+        return self._key("troxy-group", troxy_name)
+
+    def tls_master(self, principal: str) -> bytes:
+        """TLS master secret for a server-side principal."""
+        return derive_key(self._master, "tls-master", principal)

@@ -1,0 +1,53 @@
+"""Real cryptographic primitives.
+
+Digests and MACs are computed with :mod:`hashlib`/:mod:`hmac` so that
+tampering, forgery, and replay in fault-injection tests are *actually
+detected* rather than flagged by simulation bookkeeping. The cost of the
+operations in simulated time is charged separately via
+:mod:`repro.crypto.costs`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+from dataclasses import dataclass
+
+DIGEST_SIZE = 32
+MAC_SIZE = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def digest_of(*parts: bytes) -> bytes:
+    """Digest of length-prefixed parts (unambiguous concatenation)."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+    return h.digest()
+
+
+@dataclass(frozen=True)
+class MacKey:
+    """A symmetric HMAC-SHA256 key shared between principals."""
+
+    key_id: str
+    secret: bytes
+
+    def sign(self, data: bytes) -> bytes:
+        return _hmac.new(self.secret, data, hashlib.sha256).digest()
+
+    def verify(self, data: bytes, tag: bytes) -> bool:
+        return _hmac.compare_digest(self.sign(data), tag)
+
+
+def derive_key(master: bytes, *labels: str) -> bytes:
+    """Derive a sub-key from a master secret and a label path."""
+    material = master
+    for label in labels:
+        material = _hmac.new(material, label.encode("utf-8"), hashlib.sha256).digest()
+    return material

@@ -1,0 +1,58 @@
+"""Cluster configuration for a Hybster deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static membership and protocol parameters.
+
+    Hybster's hybrid fault model tolerates ``f`` Byzantine replica faults
+    with ``n = 2f + 1`` replicas (trusted counters rule out equivocation).
+    """
+
+    f: int = 1
+    checkpoint_interval: int = 128
+    request_timeout: float = 2.0  # client retransmission timeout
+    progress_timeout: float = 1.0  # replica-side view-change trigger
+    runtime: str = "java"  # protocol-processing cost profile
+
+    def __post_init__(self):
+        if self.f < 1:
+            raise ValueError(f"f must be >= 1, got {self.f}")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be positive")
+
+    @property
+    def n(self) -> int:
+        return 2 * self.f + 1
+
+    @property
+    def commit_quorum(self) -> int:
+        """Replicas whose counter-certified COMMIT makes a slot durable."""
+        return self.f + 1
+
+    @property
+    def reply_quorum(self) -> int:
+        """Matching replies a voter needs to trust a result."""
+        return self.f + 1
+
+    @property
+    def read_quorum(self) -> int:
+        """Identical unordered-read replies the BL client optimization needs."""
+        return self.f + 1
+
+    @property
+    def replica_ids(self) -> tuple[str, ...]:
+        return tuple(f"replica-{i}" for i in range(self.n))
+
+    def leader_of(self, view: int) -> str:
+        return self.replica_ids[view % self.n]
+
+    def index_of(self, replica_id: str) -> int:
+        try:
+            return self.replica_ids.index(replica_id)
+        except ValueError:
+            raise ValueError(f"unknown replica id: {replica_id!r}") from None

@@ -1,0 +1,357 @@
+"""Protocol messages of the Hybster-style hybrid BFT protocol.
+
+Hybster [13] orders requests with a leader whose ORDER messages are
+certified by a trusted monotonic counter: the counter value *is* the
+sequence number, so a Byzantine leader cannot assign two requests to the
+same slot. Followers acknowledge with counter-certified COMMITs; a slot
+is committed once f+1 of the 2f+1 replicas have certified it.
+
+All messages expose ``auth_bytes()`` (the canonical byte string covered
+by MACs / counter certificates) and ``wire_size`` (modelled bytes on the
+wire, used by the network simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..apps.base import Operation, Payload
+from ..crypto.primitives import DIGEST_SIZE, MAC_SIZE, digest_of
+from ..sgx.counters import CounterCertificate
+
+_HEADER = 16  # type tag, lengths, framing
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client operation as it enters the BFT protocol.
+
+    ``origin`` names the contact point replies must converge on: the
+    replica whose Troxy submitted it (Troxy mode) or the client itself
+    (baseline mode). ``unordered`` marks read-optimization requests that
+    replicas execute without ordering.
+    """
+
+    client_id: str
+    request_id: int
+    op: Operation
+    origin: str
+    unordered: bool = False
+
+    def digest(self) -> bytes:
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = digest_of(
+                self.client_id.encode(),
+                self.request_id.to_bytes(8, "big"),
+                self.op.digest(),
+                b"u" if self.unordered else b"o",
+            )
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def auth_bytes(self) -> bytes:
+        return b"REQ" + self.digest()
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER + len(self.client_id) + 8 + self.op.size + len(self.origin)
+
+
+@dataclass(frozen=True)
+class Reply:
+    """A replica's reply to one request.
+
+    Carries the digest of the original request (extension (2) in
+    Section IV-A) so a Troxy can identify which cache entry a write
+    outdates, and optionally ``troxy_tag`` — the HMAC computed by the
+    *replica's Troxy* under the group secret bound to its instance id
+    (extension (1)): the voter only counts Troxy-authenticated replies.
+    """
+
+    replica_id: str
+    client_id: str
+    request_id: int
+    result: Payload
+    request_digest: bytes
+    view: int = 0
+    troxy_tag: Optional[bytes] = None
+
+    def result_digest(self) -> bytes:
+        return self.result.digest()
+
+    def auth_bytes(self) -> bytes:
+        return b"|".join(
+            [
+                b"REPLY",
+                self.replica_id.encode(),
+                self.client_id.encode(),
+                self.request_id.to_bytes(8, "big"),
+                self.result_digest(),
+                self.request_digest,
+            ]
+        )
+
+    def matches(self, other: "Reply") -> bool:
+        """Vote equality: same request answered with the same result."""
+        return (
+            self.client_id == other.client_id
+            and self.request_id == other.request_id
+            and self.request_digest == other.request_digest
+            and self.result_digest() == other.result_digest()
+        )
+
+    @property
+    def wire_size(self) -> int:
+        size = (
+            _HEADER
+            + len(self.replica_id)
+            + len(self.client_id)
+            + 8
+            + self.result.size
+            + DIGEST_SIZE
+        )
+        if self.troxy_tag is not None:
+            size += MAC_SIZE
+        return size
+
+
+@dataclass(frozen=True)
+class Forward:
+    """Follower-to-leader request relay (Fig. 5c's extra phase)."""
+
+    request: Request
+    sender: str
+
+    def auth_bytes(self) -> bytes:
+        return b"FWD" + self.sender.encode() + self.request.digest()
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER + self.request.wire_size + len(self.sender)
+
+
+@dataclass(frozen=True)
+class Order:
+    """Leader proposal binding ``request`` to slot ``seq`` in ``view``.
+
+    ``cert.value == seq`` by construction; followers verify both the
+    certificate and the continuity of the counter values.
+    """
+
+    view: int
+    seq: int
+    request: Request
+    cert: CounterCertificate
+    sender: str
+
+    @staticmethod
+    def content_digest(view: int, seq: int, request_digest: bytes) -> bytes:
+        return digest_of(
+            b"ORDER", view.to_bytes(8, "big"), seq.to_bytes(8, "big"), request_digest
+        )
+
+    def digest(self) -> bytes:
+        return self.content_digest(self.view, self.seq, self.request.digest())
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER + 16 + self.request.wire_size + self.cert.wire_size
+
+
+@dataclass(frozen=True)
+class Commit:
+    """A replica's counter-certified acknowledgement of an Order."""
+
+    view: int
+    seq: int
+    request_digest: bytes
+    cert: CounterCertificate
+    sender: str
+
+    @staticmethod
+    def content_digest(view: int, seq: int, request_digest: bytes, sender: str) -> bytes:
+        return digest_of(
+            b"COMMIT",
+            view.to_bytes(8, "big"),
+            seq.to_bytes(8, "big"),
+            request_digest,
+            sender.encode(),
+        )
+
+    def digest(self) -> bytes:
+        return self.content_digest(self.view, self.seq, self.request_digest, self.sender)
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER + 16 + DIGEST_SIZE + self.cert.wire_size
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Periodic state digest; f+1 matching ones make a checkpoint stable."""
+
+    seq: int
+    state_digest: bytes
+    sender: str
+
+    def auth_bytes(self) -> bytes:
+        return b"CHKPT" + self.seq.to_bytes(8, "big") + self.state_digest + self.sender.encode()
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER + 8 + DIGEST_SIZE + len(self.sender)
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """A replica's vote to move to ``new_view``.
+
+    Carries the stable checkpoint and every Order the replica has
+    accepted above it; the counter certificate makes the vote
+    non-equivocating.
+    """
+
+    new_view: int
+    stable_seq: int
+    state_snapshot: bytes
+    prepared: tuple[Order, ...]
+    sender: str
+    cert: CounterCertificate
+
+    @staticmethod
+    def content_digest(new_view: int, stable_seq: int, prepared_digest: bytes, sender: str) -> bytes:
+        return digest_of(
+            b"VIEWCHANGE",
+            new_view.to_bytes(8, "big"),
+            stable_seq.to_bytes(8, "big"),
+            prepared_digest,
+            sender.encode(),
+        )
+
+    def digest(self) -> bytes:
+        prepared_digest = digest_of(*[order.digest() for order in self.prepared])
+        return self.content_digest(self.new_view, self.stable_seq, prepared_digest, self.sender)
+
+    @property
+    def wire_size(self) -> int:
+        return (
+            _HEADER
+            + 16
+            + len(self.state_snapshot)
+            + sum(order.wire_size for order in self.prepared)
+            + self.cert.wire_size
+        )
+
+
+@dataclass(frozen=True)
+class NewView:
+    """New leader's view installation: proofs plus re-proposed Orders."""
+
+    view: int
+    view_changes: tuple[ViewChange, ...]
+    orders: tuple[Order, ...]
+    sender: str
+    cert: CounterCertificate
+
+    @staticmethod
+    def content_digest(view: int, orders_digest: bytes, sender: str) -> bytes:
+        return digest_of(b"NEWVIEW", view.to_bytes(8, "big"), orders_digest, sender.encode())
+
+    def digest(self) -> bytes:
+        orders_digest = digest_of(*[order.digest() for order in self.orders])
+        return self.content_digest(self.view, orders_digest, self.sender)
+
+    @property
+    def wire_size(self) -> int:
+        return (
+            _HEADER
+            + 8
+            + sum(vc.wire_size for vc in self.view_changes)
+            + sum(order.wire_size for order in self.orders)
+            + self.cert.wire_size
+        )
+
+
+@dataclass(frozen=True)
+class FetchOrders:
+    """Ask a peer to resend ORDERs for a gap in the sequence space.
+
+    Sent when a replica's in-order intake stalls behind buffered orders
+    (e.g. messages dropped during a view installation window)."""
+
+    view: int
+    first: int
+    last: int
+    sender: str
+
+    def auth_bytes(self) -> bytes:
+        return (
+            b"FETCH"
+            + self.view.to_bytes(8, "big")
+            + self.first.to_bytes(8, "big")
+            + self.last.to_bytes(8, "big")
+            + self.sender.encode()
+        )
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER + 24 + len(self.sender)
+
+
+@dataclass(frozen=True)
+class StateRequest:
+    """Ask a peer for the application state at its stable checkpoint.
+
+    Sent by a replica that can no longer catch up from its own log —
+    after recovering from a crash, or when the cluster's stable
+    checkpoint ran ahead of the orders it ever received."""
+
+    low_water: int  # requester executes up to here; anything newer helps
+    sender: str
+
+    def auth_bytes(self) -> bytes:
+        return b"STREQ" + self.low_water.to_bytes(8, "big") + self.sender.encode()
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER + 8 + len(self.sender)
+
+
+@dataclass(frozen=True)
+class StateResponse:
+    """A stable checkpoint's full state.
+
+    The requester only installs it if ``digest_of(seq, snapshot)``
+    matches a digest it has seen f+1 replicas vote for — a single
+    (possibly Byzantine) responder cannot install garbage."""
+
+    seq: int
+    snapshot: bytes
+    high_water: int  # responder's last executed slot (catch-up horizon)
+    sender: str
+
+    def auth_bytes(self) -> bytes:
+        return (
+            b"STRSP" + self.seq.to_bytes(8, "big")
+            + digest_of(self.snapshot)
+            + self.high_water.to_bytes(8, "big") + self.sender.encode()
+        )
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER + 16 + len(self.snapshot) + len(self.sender)
+
+
+@dataclass(frozen=True)
+class Tagged:
+    """A message carried with a pairwise HMAC tag (non-counter messages)."""
+
+    msg: object
+    sender: str
+    tag: bytes
+
+    @property
+    def wire_size(self) -> int:
+        return self.msg.wire_size + MAC_SIZE  # type: ignore[attr-defined]

@@ -1,0 +1,946 @@
+"""The Hybster replica state machine.
+
+One :class:`Replica` runs on one simulated node. Incoming messages are
+handled by per-message processes (modelling Hybster's parallelized
+message handling across cores) while two invariants are kept serial:
+
+* ORDER intake is processed in sequence-number order under a lock, so
+  each replica's commit counter advances monotonically (continuity);
+* execution happens in a dedicated process, strictly in slot order.
+
+The trusted counter subsystem is reached through the enclave boundary
+(JNI in the original Hybster), so every certify/verify pays the
+crossing cost in addition to the MAC itself.
+
+Reply delivery is pluggable through ``reply_sink`` so the same replica
+core serves both the baseline deployment (replies go straight to the
+client over TLS) and the Troxy deployment (replies are handed to the
+local Troxy for authentication, cache invalidation, and voting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..apps.base import Application, Operation, OpKind, Payload
+from ..crypto.costs import RuntimeProfile, profile as cost_profile
+from ..crypto.keys import KeyRing
+from ..crypto.primitives import DIGEST_SIZE, digest_of
+from ..crypto.tls import TlsEndpoint, TlsError
+from ..sgx.counters import CounterCertificate, CounterError, TrustedCounterSubsystem
+from ..sgx.enclave import Enclave
+from ..sim.engine import Environment
+from ..sim.network import Network, Node
+from ..sim.resources import Resource, Store
+from ..sim.trace import Tracer
+from .config import ClusterConfig
+from .messages import (
+    Checkpoint,
+    Commit,
+    FetchOrders,
+    Forward,
+    StateRequest,
+    StateResponse,
+    NewView,
+    Order,
+    Reply,
+    Request,
+    Tagged,
+    ViewChange,
+)
+from .secure import SecureEnvelope, open_body, seal_body
+
+NOOP_REQUEST_CLIENT = "__noop__"
+
+
+def noop_request(seq: int, origin: str) -> Request:
+    """Filler request used to close gaps during view changes."""
+    op = Operation(OpKind.WRITE, "noop", key="__noop__")
+    return Request(NOOP_REQUEST_CLIENT, seq, op, origin)
+
+
+@dataclass
+class LogEntry:
+    """Per-slot ordering state."""
+
+    order: Optional[Order] = None
+    commit_senders: dict[str, CounterCertificate] = field(default_factory=dict)
+    committed: bool = False
+    executed: bool = False
+
+
+@dataclass
+class ReplicaStats:
+    """Counters exposed for tests and benchmarks."""
+
+    requests_submitted: int = 0
+    orders_sent: int = 0
+    commits_sent: int = 0
+    executions: int = 0
+    unordered_reads: int = 0
+    view_changes: int = 0
+    checkpoints_stable: int = 0
+    state_transfers: int = 0
+    invalid_messages: int = 0
+
+
+class Replica:
+    """One Hybster replica (ordering + execution + reply routing)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        node: Node,
+        replica_id: str,
+        config: ClusterConfig,
+        app: Application,
+        keyring: KeyRing,
+        counters: TrustedCounterSubsystem,
+        trusted_boundary: Enclave,
+        tracer: Optional[Tracer] = None,
+        owns_inbox: bool = True,
+    ):
+        self.env = env
+        self.net = net
+        self.node = node
+        self.replica_id = replica_id
+        self.config = config
+        self.app = app
+        self.keyring = keyring
+        self.counters = counters
+        self.boundary = trusted_boundary
+        self.tracer = tracer or Tracer(enabled=False)
+        self.profile: RuntimeProfile = cost_profile(config.runtime)
+        self.stats = ReplicaStats()
+
+        self.view = 0
+        self.log: dict[int, LogEntry] = {}
+        self.next_seq = 1  # leader: next slot to assign
+        self.next_exec = 1
+        self.stable_seq = 0
+        self.stable_snapshot: bytes = app.snapshot()
+        self._next_order_intake = 1  # continuity cursor for this view
+        self._pending_orders: dict[int, Order] = {}
+        self._order_lock = Resource(env, capacity=1)
+        self._exec_signal = Store(env)
+        self._last_reply: dict[str, Reply] = {}
+        self._executed_requests: dict[str, int] = {}
+        self._inflight: set[tuple[str, int]] = set()
+        self._client_endpoints: dict[str, TlsEndpoint] = {}
+        # TLS records of one client session must be opened in arrival
+        # order; concurrent message handlers serialize per client.
+        self._channel_locks: dict[str, Resource] = {}
+        self._checkpoint_votes: dict[int, dict[str, bytes]] = {}
+        self._state_offers: dict[tuple[int, bytes], set[str]] = {}
+        self._view_changes: dict[int, dict[str, ViewChange]] = {}
+        self._view_change_pending: Optional[int] = None
+        self._progress_deadline: Optional[float] = None
+        self._stopped = False
+
+        # Counters used by this replica. "order/<view>" is created lazily
+        # per view by whoever becomes leader; "commit/<view>" likewise.
+        self.counters.create(self._commit_counter(0))
+        if self.is_leader:
+            self.counters.create(self._order_counter(0))
+
+        self.reply_sink: Callable = self._default_reply_sink
+
+        # Trusted-subsystem entry points (three of Hybster's boundary
+        # crossings); each certify pays the crossing plus one MAC.
+        for ecall_name in ("certify_order", "certify_commit", "certify_viewchange"):
+            trusted_boundary.register_ecall(ecall_name, self._trusted_certify)
+
+        self._owns_inbox = owns_inbox
+        self._loop_generation = 0
+        if owns_inbox:
+            env.process(self._message_loop(0), name=f"{replica_id}:loop")
+        env.process(self._execution_loop(), name=f"{replica_id}:exec")
+        env.process(self._progress_monitor(), name=f"{replica_id}:monitor")
+
+    # -- identity helpers ------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self.config.leader_of(self.view) == self.replica_id
+
+    @property
+    def leader_id(self) -> str:
+        return self.config.leader_of(self.view)
+
+    def _order_counter(self, view: int) -> str:
+        return f"order/{view}"
+
+    def _commit_counter(self, view: int) -> str:
+        return f"commit/{view}"
+
+    def _ensure_counter(self, name: str) -> None:
+        try:
+            self.counters.create(name)
+        except CounterError:
+            pass
+
+    # -- cost helpers -----------------------------------------------------------
+
+    def _rx_cost(self, size: int) -> float:
+        """Deserialize + digest an incoming protocol message."""
+        return self.profile.serialize_cost(size) + self.profile.hash_cost(size)
+
+    def _tx_cost(self, size: int) -> float:
+        return self.profile.serialize_cost(size)
+
+    def _mac_cost(self) -> float:
+        """Verify/create one MAC over a fixed-size digest."""
+        return self.profile.mac_cost(DIGEST_SIZE)
+
+    def _trusted_certify(self, counter: str, value: int, digest: bytes):
+        """Trusted-side body of the certify ecalls."""
+        yield from self.node.compute(self._mac_cost())
+        return self.counters.certify_at(counter, value, digest)
+
+    # -- secure client channels (baseline deployment) ----------------------------
+
+    def register_client_channel(self, client_id: str, endpoint: TlsEndpoint) -> None:
+        """Install the server-side TLS endpoint for ``client_id``."""
+        self._client_endpoints[client_id] = endpoint
+
+    # -- outbound -----------------------------------------------------------------
+
+    def _send(self, dst: str, msg, trace: str = "") -> None:
+        self.tracer.record(self.env.now, "proto.send", self.replica_id,
+                           f"{type(msg).__name__}->{dst} {trace}")
+        self.net.send(self.node.name, dst, msg)
+
+    def _broadcast(self, msg, trace: str = "") -> None:
+        for rid in self.config.replica_ids:
+            if rid != self.replica_id:
+                self._send(rid, msg, trace)
+
+    def _tagged(self, msg) -> Tagged:
+        """Wrap with a troxy-group HMAC tag (checkpoint-class messages)."""
+        key = self.keyring.troxy_instance(self.replica_id)
+        return Tagged(msg, self.replica_id, key.sign(msg.auth_bytes()))
+
+    def _verify_tagged(self, tagged: Tagged) -> bool:
+        key = self.keyring.troxy_instance(tagged.sender)
+        return key.verify(tagged.msg.auth_bytes(), tagged.tag)  # type: ignore[attr-defined]
+
+    # -- main loops ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Take the replica out of service (crash, for fault injection)."""
+        self._stopped = True
+        self.node.crash()
+
+    def _message_loop(self, generation: int):
+        while not self._stopped:
+            msg = yield self.node.inbox.get()
+            if generation != self._loop_generation:
+                # A restart spawned a fresh loop; hand over after
+                # dispatching the message this stale loop consumed.
+                if not self._stopped:
+                    self.dispatch(msg.payload)
+                return
+            if self._stopped:
+                return
+            self.dispatch(msg.payload)
+
+    def dispatch(self, payload) -> None:
+        """Handle one protocol message in its own process.
+
+        Public so a Troxy host owning the node's inbox can hand protocol
+        traffic to the co-located replica.
+        """
+        if self._stopped:
+            return
+        self.env.process(self._handle(payload), name=f"{self.replica_id}:handle")
+
+    def _handle(self, payload):
+        if isinstance(payload, SecureEnvelope):
+            yield from self._handle_client_envelope(payload)
+        elif isinstance(payload, Order):
+            yield from self._handle_order(payload)
+        elif isinstance(payload, Commit):
+            yield from self._handle_commit(payload)
+        elif isinstance(payload, Tagged) and isinstance(payload.msg, Forward):
+            yield from self._handle_forward(payload)
+        elif isinstance(payload, Tagged) and isinstance(payload.msg, Checkpoint):
+            yield from self._handle_checkpoint(payload)
+        elif isinstance(payload, Tagged) and isinstance(payload.msg, FetchOrders):
+            yield from self._handle_fetch_orders(payload)
+        elif isinstance(payload, Tagged) and isinstance(payload.msg, StateRequest):
+            yield from self._handle_state_request(payload)
+        elif isinstance(payload, Tagged) and isinstance(payload.msg, StateResponse):
+            yield from self._handle_state_response(payload)
+        elif isinstance(payload, ViewChange):
+            yield from self._handle_view_change(payload)
+        elif isinstance(payload, NewView):
+            yield from self._handle_new_view(payload)
+        elif isinstance(payload, Request):
+            # Plain (already-authenticated) request from a co-located Troxy
+            # relay; normal client traffic arrives as SecureEnvelope.
+            yield from self.submit(payload)
+        else:
+            self.stats.invalid_messages += 1
+
+    # -- client requests -----------------------------------------------------------------
+
+    def _handle_client_envelope(self, envelope: SecureEnvelope):
+        body = envelope.body
+        if not isinstance(body, Request):
+            self.stats.invalid_messages += 1
+            return
+        endpoint = self._client_endpoints.get(body.client_id)
+        if endpoint is None:
+            self.stats.invalid_messages += 1
+            return
+        lock = self._channel_locks.setdefault(body.client_id, Resource(self.env, 1))
+        yield lock.request()
+        try:
+            yield from self.node.compute(self.profile.aead_cost(envelope.wire_size))
+            open_body(endpoint, envelope)
+        except TlsError:
+            self.stats.invalid_messages += 1
+            return
+        finally:
+            lock.release()
+        # Baseline clients distribute their requests to every replica
+        # themselves, so a follower must not re-relay to the leader.
+        yield from self.submit(body, relay=False)
+
+    def submit(self, request: Request, relay: bool = True):
+        """Inject an authenticated request into the ordering pipeline.
+
+        Process generator; called with client requests (baseline) or by
+        the local Troxy host (Troxy deployment). With ``relay=False`` a
+        follower only starts its progress timer instead of forwarding
+        (the sender is known to have contacted the leader directly).
+        """
+        self.stats.requests_submitted += 1
+        if request.unordered and request.op.is_read:
+            yield from self._execute_unordered_read(request)
+            return
+        last = self._executed_requests.get(request.client_id)
+        if last is not None and request.request_id <= last:
+            cached = self._last_reply.get(request.client_id)
+            if cached is not None and cached.request_id == request.request_id:
+                yield from self._emit_reply(request, cached)
+            if relay:
+                # Retransmission through a (possibly new) contact point:
+                # fan out so every replica re-emits its cached reply to the
+                # request's current origin (needed for Troxy failover).
+                yield from self.node.compute(
+                    self._tx_cost(request.wire_size) + self._mac_cost()
+                )
+                self._broadcast(self._tagged(Forward(request, self.replica_id)))
+            return
+        if self._view_change_pending is not None:
+            return  # drop during view change; clients retransmit
+        if self.is_leader:
+            if (request.client_id, request.request_id) in self._inflight:
+                return
+            self._inflight.add((request.client_id, request.request_id))
+            yield from self._order(request)
+        elif relay:
+            yield from self.node.compute(self._tx_cost(request.wire_size) + self._mac_cost())
+            self._send(self.leader_id, self._tagged(Forward(request, self.replica_id)))
+            self._note_progress_needed()
+        else:
+            self._note_progress_needed()
+
+    def _handle_forward(self, tagged: Tagged):
+        forward = tagged.msg
+        if not isinstance(forward, Forward):
+            self.stats.invalid_messages += 1
+            return
+        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost())
+        if not self._verify_tagged(tagged):
+            self.stats.invalid_messages += 1
+            return
+        # relay=False: a Forward must never trigger another relay, whether
+        # it carries a fresh request (to the leader) or a retransmission
+        # fan-out (to everyone).
+        yield from self.submit(forward.request, relay=False)
+
+    # -- ordering: leader ------------------------------------------------------------------
+
+    def _order(self, request: Request):
+        if not self.is_leader:
+            return
+        # The trusted order counter is a single monotonic resource:
+        # serialize slot assignment + certification (Hybster does too).
+        yield self._order_lock.request()
+        try:
+            if not self.is_leader:
+                return
+            seq = self.next_seq
+            self.next_seq += 1
+            request_digest = request.digest()
+            content = Order.content_digest(self.view, seq, request_digest)
+            # Counter certification crosses the trusted boundary (JNI/SGX).
+            cert = yield from self.boundary.ecall(
+                "certify_order",
+                self._order_counter(self.view),
+                seq,
+                content,
+                bytes_in=DIGEST_SIZE,
+                bytes_out=80,
+            )
+        finally:
+            self._order_lock.release()
+        order = Order(self.view, seq, request, cert, self.replica_id)
+        entry = self.log.setdefault(seq, LogEntry())
+        entry.order = order
+        entry.commit_senders[self.replica_id] = cert  # the ORDER is the leader's commit
+        yield from self.node.compute(self._tx_cost(order.wire_size))
+        self._broadcast(order, trace=f"seq={seq}")
+        self.stats.orders_sent += 1
+        self._note_progress_needed()
+        self._maybe_committed(seq)
+
+    # -- ordering: follower -------------------------------------------------------------------
+
+    def _handle_order(self, order: Order):
+        yield from self.node.compute(self._rx_cost(order.wire_size) + self._mac_cost())
+        if order.view != self.view or self._view_change_pending is not None:
+            return
+        if order.seq < self.next_exec:
+            return  # slot already executed locally
+        if order.sender != self.leader_id:
+            self.stats.invalid_messages += 1
+            return
+        expected = Order.content_digest(order.view, order.seq, order.request.digest())
+        if order.cert.digest != expected or order.cert.value != order.seq:
+            self.stats.invalid_messages += 1
+            return
+        if not self.counters.verify(order.cert):
+            self.stats.invalid_messages += 1
+            return
+        # Continuity: commit in strict sequence order so this replica's
+        # commit counter never has to move backwards.
+        yield self._order_lock.request()
+        try:
+            if order.seq < self._next_order_intake:
+                return  # duplicate of an already-committed slot
+            self._pending_orders[order.seq] = order
+            while self._next_order_intake in self._pending_orders:
+                next_order = self._pending_orders.pop(self._next_order_intake)
+                yield from self._commit_order(next_order)
+                self._next_order_intake += 1
+        finally:
+            self._order_lock.release()
+
+    def _commit_order(self, order: Order):
+        if order.seq < self.next_exec:
+            return  # already executed here: nothing left to acknowledge
+            yield  # pragma: no cover - generator marker
+        entry = self.log.setdefault(order.seq, LogEntry())
+        if entry.order is None:
+            entry.order = order
+        entry.commit_senders[order.sender] = order.cert
+        request_digest = order.request.digest()
+        content = Commit.content_digest(order.view, order.seq, request_digest, self.replica_id)
+        cert = yield from self.boundary.ecall(
+            "certify_commit",
+            self._commit_counter(self.view),
+            order.seq,
+            content,
+            bytes_in=DIGEST_SIZE,
+            bytes_out=80,
+        )
+        commit = Commit(order.view, order.seq, request_digest, cert, self.replica_id)
+        entry.commit_senders[self.replica_id] = cert
+        yield from self.node.compute(self._tx_cost(commit.wire_size))
+        self._broadcast(commit, trace=f"seq={order.seq}")
+        self.stats.commits_sent += 1
+        self._note_progress_needed()
+        self._maybe_committed(order.seq)
+
+    def _handle_commit(self, commit: Commit):
+        yield from self.node.compute(self._rx_cost(commit.wire_size) + self._mac_cost())
+        if commit.view != self.view or self._view_change_pending is not None:
+            return
+        if commit.seq < self.next_exec:
+            return  # slot already executed locally: the commit is stale
+        expected = Commit.content_digest(
+            commit.view, commit.seq, commit.request_digest, commit.sender
+        )
+        if commit.cert.digest != expected or commit.cert.value != commit.seq:
+            self.stats.invalid_messages += 1
+            return
+        if not self.counters.verify(commit.cert):
+            self.stats.invalid_messages += 1
+            return
+        entry = self.log.setdefault(commit.seq, LogEntry())
+        if entry.order is not None and entry.order.request.digest() != commit.request_digest:
+            self.stats.invalid_messages += 1
+            return
+        entry.commit_senders[commit.sender] = commit.cert
+        self._maybe_committed(commit.seq)
+
+    def _maybe_committed(self, seq: int) -> None:
+        entry = self.log.get(seq)
+        if entry is None or entry.committed or entry.order is None:
+            return
+        if len(entry.commit_senders) >= self.config.commit_quorum:
+            entry.committed = True
+            self.tracer.record(self.env.now, "proto.commit", self.replica_id, f"seq={seq}")
+            self._exec_signal.put(seq)
+
+    # -- execution ----------------------------------------------------------------------------
+
+    def _execution_loop(self):
+        while True:
+            yield self._exec_signal.get()
+            while True:
+                entry = self.log.get(self.next_exec)
+                if entry is None or not entry.committed or entry.executed:
+                    break
+                executed_seq = self.next_exec
+                yield from self._execute_entry(executed_seq, entry)
+                self.next_exec = executed_seq + 1
+                if executed_seq <= self.stable_seq:
+                    # Executed behind an already-stable checkpoint (we
+                    # were lagging): the entry is disposable right away.
+                    self._truncate_log()
+
+    def _execute_entry(self, seq: int, entry: LogEntry):
+        entry.executed = True
+        request = entry.order.request
+        if request.client_id != NOOP_REQUEST_CLIENT:
+            yield from self.node.compute(self.app.execution_cost(request.op))
+            result = self.app.execute(request.op)
+            reply = Reply(
+                replica_id=self.replica_id,
+                client_id=request.client_id,
+                request_id=request.request_id,
+                result=result,
+                request_digest=request.digest(),
+                view=self.view,
+            )
+            self._executed_requests[request.client_id] = request.request_id
+            self._last_reply[request.client_id] = reply
+            self._inflight.discard((request.client_id, request.request_id))
+            self.stats.executions += 1
+            self.tracer.record(self.env.now, "proto.execute", self.replica_id,
+                               f"seq={seq} client={request.client_id} rid={request.request_id}")
+            yield from self._emit_reply(request, reply)
+        self._progress_made()
+        if seq % self.config.checkpoint_interval == 0:
+            yield from self._emit_checkpoint(seq)
+
+    def _execute_unordered_read(self, request: Request):
+        """The PBFT-like read optimization: execute against current state."""
+        self.stats.unordered_reads += 1
+        yield from self.node.compute(self.app.execution_cost(request.op))
+        result = self.app.execute_read(request.op)
+        reply = Reply(
+            replica_id=self.replica_id,
+            client_id=request.client_id,
+            request_id=request.request_id,
+            result=result,
+            request_digest=request.digest(),
+            view=self.view,
+        )
+        yield from self._emit_reply(request, reply)
+
+    def _emit_reply(self, request: Request, reply: Reply):
+        yield from self.reply_sink(request, reply)
+
+    def _default_reply_sink(self, request: Request, reply: Reply):
+        """Baseline deployment: seal the reply for the client and send it."""
+        endpoint = self._client_endpoints.get(request.client_id)
+        if endpoint is None:
+            return
+        yield from self.node.compute(self.profile.aead_cost(reply.wire_size))
+        envelope = seal_body(endpoint, reply)
+        self.tracer.record(self.env.now, "proto.send", self.replica_id,
+                           f"reply rid={reply.request_id} ->{request.origin}")
+        # Baseline replies ride the shared library connection to the
+        # client machine (one client-side library process per machine).
+        self.net.send(self.node.name, request.origin, envelope)
+
+    # -- checkpoints ------------------------------------------------------------------------------
+
+    def _emit_checkpoint(self, seq: int):
+        snapshot = self.app.snapshot()
+        state_digest = digest_of(seq.to_bytes(8, "big"), snapshot)
+        checkpoint = Checkpoint(seq, state_digest, self.replica_id)
+        self._note_checkpoint_vote(checkpoint, snapshot)
+        yield from self.node.compute(self._tx_cost(checkpoint.wire_size) + self._mac_cost())
+        self._broadcast(self._tagged(checkpoint))
+
+    def _handle_checkpoint(self, tagged: Tagged):
+        checkpoint = tagged.msg
+        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost())
+        if not self._verify_tagged(tagged):
+            self.stats.invalid_messages += 1
+            return
+        self._note_checkpoint_vote(checkpoint, None)
+
+    def _handle_fetch_orders(self, tagged: Tagged):
+        fetch = tagged.msg
+        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost())
+        if not self._verify_tagged(tagged):
+            self.stats.invalid_messages += 1
+            return
+        for seq in range(fetch.first, fetch.last + 1):
+            entry = self.log.get(seq)
+            if entry is not None and entry.order is not None:
+                yield from self.node.compute(self._tx_cost(entry.order.wire_size))
+                self._send(tagged.sender, entry.order, trace=f"refetch seq={seq}")
+
+    def _request_missing_orders(self):
+        """Intake stalled behind buffered orders: ask peers for the gap."""
+        if not self._pending_orders:
+            return
+            yield  # pragma: no cover - generator marker
+        first_buffered = min(self._pending_orders)
+        if first_buffered <= self._next_order_intake:
+            return
+        fetch = FetchOrders(
+            self.view, self._next_order_intake, first_buffered - 1, self.replica_id
+        )
+        yield from self.node.compute(self._tx_cost(fetch.wire_size) + self._mac_cost())
+        self._send(self.leader_id, self._tagged(fetch))
+
+    def _handle_state_request(self, tagged: Tagged):
+        request = tagged.msg
+        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost())
+        if not self._verify_tagged(tagged):
+            self.stats.invalid_messages += 1
+            return
+        if self.stable_seq <= request.low_water:
+            return  # nothing newer to offer
+        response = StateResponse(
+            self.stable_seq, self.stable_snapshot, self.next_exec - 1, self.replica_id
+        )
+        yield from self.node.compute(
+            self._tx_cost(response.wire_size) + self._mac_cost()
+            + self.profile.hash_cost(len(response.snapshot))
+        )
+        self._send(tagged.sender, self._tagged(response), trace=f"state@{self.stable_seq}")
+
+    def _handle_state_response(self, tagged: Tagged):
+        response = tagged.msg
+        yield from self.node.compute(
+            self._rx_cost(tagged.wire_size) + self._mac_cost()
+            + self.profile.hash_cost(len(response.snapshot))
+        )
+        if not self._verify_tagged(tagged):
+            self.stats.invalid_messages += 1
+            return
+        if response.seq < self.next_exec:
+            return  # we caught up by ourselves in the meantime
+        # Install only state that f+1 distinct replicas agree on: either
+        # we already tallied f+1 checkpoint votes for this digest, or we
+        # have collected f+1 identical StateResponses.
+        expected = digest_of(response.seq.to_bytes(8, "big"), response.snapshot)
+        votes = self._checkpoint_votes.get(response.seq, {})
+        checkpoint_matches = sum(1 for digest in votes.values() if digest == expected)
+        offers = self._state_offers.setdefault((response.seq, expected), set())
+        offers.add(tagged.sender)
+        if checkpoint_matches < self.config.f + 1 and len(offers) < self.config.f + 1:
+            return  # keep waiting for corroboration
+        self._state_offers.clear()
+        self.app.restore(response.snapshot)
+        self.stable_snapshot = response.snapshot
+        self.stable_seq = max(self.stable_seq, response.seq)
+        self.next_exec = response.seq + 1
+        self._next_order_intake = max(self._next_order_intake, response.seq + 1)
+        self._pending_orders = {
+            seq: order for seq, order in self._pending_orders.items()
+            if seq > response.seq
+        }
+        self.stats.state_transfers += 1
+        self._truncate_log()
+        self.tracer.record(self.env.now, "proto.statetransfer", self.replica_id,
+                           f"installed state@{response.seq}")
+        self._progress_made()
+        if response.high_water >= self.next_exec:
+            # Fetch the slots committed after the checkpoint; peers still
+            # hold them in their logs.
+            fetch = FetchOrders(
+                self.view, self.next_exec, response.high_water, self.replica_id
+            )
+            yield from self.node.compute(self._tx_cost(fetch.wire_size) + self._mac_cost())
+            self._broadcast(self._tagged(fetch))
+
+    def _maybe_request_state(self, probe: bool = False):
+        """Fetch checkpointed state when this replica cannot catch up by
+        itself: it is stuck behind the cluster's stable checkpoint, or it
+        just recovered (``probe``) and must ask whether it missed
+        anything — peers only answer if they are ahead."""
+        if not probe and self.stable_seq < self.next_exec:
+            return
+            yield  # pragma: no cover - generator marker
+        entry = self.log.get(self.next_exec)
+        if entry is not None and entry.order is not None:
+            return  # we still hold the next slot: normal path will run it
+        request = StateRequest(self.next_exec - 1, self.replica_id)
+        yield from self.node.compute(self._tx_cost(request.wire_size) + self._mac_cost())
+        self._broadcast(self._tagged(request))
+
+    def restart(self) -> None:
+        """Recover a crashed replica: rejoin with an empty volatile state.
+
+        The trusted counters survived (sealed storage); the log and app
+        state are rebuilt via state transfer + normal ordering."""
+        self.node.recover()
+        self.net.reset_streams(self.node.name)
+        self._stopped = False
+        self._view_change_pending = None
+        self._progress_deadline = self.env.now + self.config.progress_timeout
+        if self._owns_inbox:
+            self._loop_generation += 1
+            self.env.process(
+                self._message_loop(self._loop_generation),
+                name=f"{self.replica_id}:loop",
+            )
+        self.env.process(self._progress_monitor(), name=f"{self.replica_id}:monitor")
+        self.env.process(
+            self._maybe_request_state(probe=True), name=f"{self.replica_id}:catchup"
+        )
+
+    def _note_checkpoint_vote(self, checkpoint: Checkpoint, snapshot: Optional[bytes]) -> None:
+        votes = self._checkpoint_votes.setdefault(checkpoint.seq, {})
+        votes[checkpoint.sender] = checkpoint.state_digest
+        matching = sum(
+            1 for digest in votes.values() if digest == checkpoint.state_digest
+        )
+        if matching >= self.config.f + 1 and checkpoint.seq > self.stable_seq:
+            self.stable_seq = checkpoint.seq
+            if snapshot is not None:
+                self.stable_snapshot = snapshot
+            elif self.next_exec > checkpoint.seq:
+                self.stable_snapshot = self.app.snapshot()
+            self.stats.checkpoints_stable += 1
+            self._truncate_log()
+
+    def _truncate_log(self) -> None:
+        # Never drop entries this replica still has to execute, even when
+        # the cluster's stable checkpoint has moved past them (a lagging
+        # replica catches up from its own log).
+        cut = min(self.stable_seq, self.next_exec - 1)
+        for seq in [s for s in self.log if s <= cut]:
+            del self.log[seq]
+        for seq in [s for s in self._checkpoint_votes if s < self.stable_seq]:
+            del self._checkpoint_votes[seq]
+
+    # -- progress monitoring & view change ----------------------------------------------------------
+
+    def _note_progress_needed(self) -> None:
+        if self._progress_deadline is None:
+            self._progress_deadline = self.env.now + self.config.progress_timeout
+
+    def _progress_made(self) -> None:
+        has_backlog = any(
+            not entry.executed for entry in self.log.values() if entry.order is not None
+        )
+        if has_backlog:
+            self._progress_deadline = self.env.now + self.config.progress_timeout
+        else:
+            self._progress_deadline = None
+
+    def _progress_monitor(self):
+        poll = self.config.progress_timeout / 4
+        while True:
+            yield self.env.timeout(poll)
+            if self._stopped:
+                return
+            yield from self._request_missing_orders()
+            yield from self._maybe_request_state()
+            if (
+                self._progress_deadline is not None
+                and self.env.now >= self._progress_deadline
+                and self._view_change_pending is None
+            ):
+                yield from self._start_view_change(self.view + 1)
+            elif (
+                self._view_change_pending is not None
+                and self.env.now >= self._progress_deadline
+            ):
+                # View change itself stalled: escalate.
+                yield from self._start_view_change(self._view_change_pending + 1)
+
+    def _start_view_change(self, new_view: int):
+        if new_view <= self.view:
+            return
+        self.stats.view_changes += 1
+        self._view_change_pending = new_view
+        self._progress_deadline = self.env.now + self.config.progress_timeout
+        prepared = tuple(
+            entry.order
+            for seq, entry in sorted(self.log.items())
+            if entry.order is not None and seq > self.stable_seq
+        )
+        prepared_digest = digest_of(*[order.digest() for order in prepared])
+        content = ViewChange.content_digest(
+            new_view, self.stable_seq, prepared_digest, self.replica_id
+        )
+        self._ensure_counter("viewchange")
+        cert = yield from self.boundary.ecall(
+            "certify_viewchange",
+            "viewchange",
+            self.counters.current("viewchange") + 1,
+            content,
+            bytes_in=DIGEST_SIZE,
+            bytes_out=80,
+        )
+        vc = ViewChange(
+            new_view, self.stable_seq, self.stable_snapshot, prepared, self.replica_id, cert
+        )
+        self.tracer.record(self.env.now, "proto.viewchange", self.replica_id, f"view={new_view}")
+        self._record_view_change(vc)
+        yield from self.node.compute(self._tx_cost(vc.wire_size))
+        self._broadcast(vc)
+        yield from self._maybe_install_view(new_view)
+
+    def _handle_view_change(self, vc: ViewChange):
+        yield from self.node.compute(self._rx_cost(vc.wire_size) + self._mac_cost())
+        if vc.new_view <= self.view:
+            return
+        if not self.counters.verify(vc.cert):
+            self.stats.invalid_messages += 1
+            return
+        self._record_view_change(vc)
+        # Join the view change once f+1 replicas demand it, or immediately
+        # if we will lead the new view.
+        votes = self._view_changes.get(vc.new_view, {})
+        if self._view_change_pending is None and (
+            len(votes) >= self.config.f + 1
+            or self.config.leader_of(vc.new_view) == self.replica_id
+        ):
+            yield from self._start_view_change(vc.new_view)
+            return
+        yield from self._maybe_install_view(vc.new_view)
+
+    def _record_view_change(self, vc: ViewChange) -> None:
+        self._view_changes.setdefault(vc.new_view, {})[vc.sender] = vc
+
+    def _maybe_install_view(self, new_view: int):
+        """New leader: once f+1 ViewChanges arrived, install the view."""
+        if self.config.leader_of(new_view) != self.replica_id:
+            return
+            yield  # pragma: no cover - generator marker
+        votes = self._view_changes.get(new_view, {})
+        if len(votes) < self.config.f + 1 or self.view >= new_view:
+            return
+        # Adopt the most advanced stable checkpoint among the votes.
+        best = max(votes.values(), key=lambda vc: vc.stable_seq)
+        if best.stable_seq > self.stable_seq:
+            self.stable_seq = best.stable_seq
+            self.stable_snapshot = best.state_snapshot
+            if self.next_exec <= best.stable_seq:
+                self.app.restore(best.state_snapshot)
+                self.next_exec = best.stable_seq + 1
+            self._truncate_log()
+        # Union of prepared orders above the checkpoint.
+        union: dict[int, Order] = {}
+        for vc in votes.values():
+            for order in vc.prepared:
+                if order.seq > self.stable_seq:
+                    known = union.get(order.seq)
+                    if known is None or order.view > known.view:
+                        union[order.seq] = order
+        max_seq = max(union, default=self.stable_seq)
+        self.view = new_view
+        self._view_change_pending = None
+        self._ensure_counter(self._order_counter(new_view))
+        self._ensure_counter(self._commit_counter(new_view))
+        self._pending_orders.clear()
+        self._next_order_intake = self.stable_seq + 1
+        # Never hand out a slot this replica has already executed (its
+        # execution may be ahead of both the adopted checkpoint and the
+        # prepared union).
+        self.next_seq = max(max_seq + 1, self.next_exec)
+        reproposals = []
+        for seq in range(self.stable_seq + 1, max_seq + 1):
+            old = union.get(seq)
+            request = old.request if old is not None else noop_request(seq, self.replica_id)
+            content = Order.content_digest(new_view, seq, request.digest())
+            cert = yield from self.boundary.ecall(
+                "certify_order",
+                self._order_counter(new_view),
+                seq,
+                content,
+                bytes_in=DIGEST_SIZE,
+                bytes_out=80,
+            )
+            order = Order(new_view, seq, request, cert, self.replica_id)
+            reproposals.append(order)
+            if seq >= self.next_exec:
+                entry = self.log.setdefault(seq, LogEntry())
+                entry.order = order
+                entry.committed = False
+                entry.commit_senders = {self.replica_id: cert}
+        content = NewView.content_digest(
+            new_view, digest_of(*[o.digest() for o in reproposals]), self.replica_id
+        )
+        self._ensure_counter("newview")
+        cert = yield from self.boundary.ecall(
+            "certify_viewchange",
+            "newview",
+            self.counters.current("newview") + 1,
+            content,
+            bytes_in=DIGEST_SIZE,
+            bytes_out=80,
+        )
+        new_view_msg = NewView(
+            new_view, tuple(votes.values()), tuple(reproposals), self.replica_id, cert
+        )
+        yield from self.node.compute(self._tx_cost(new_view_msg.wire_size))
+        self._broadcast(new_view_msg)
+        self.tracer.record(self.env.now, "proto.newview", self.replica_id, f"view={new_view}")
+        for seq in sorted(union):
+            self._maybe_committed(seq)
+        self._progress_made()
+
+    def _handle_new_view(self, nv: NewView):
+        yield from self.node.compute(self._rx_cost(nv.wire_size) + self._mac_cost())
+        if nv.view <= self.view:
+            return
+        if nv.sender != self.config.leader_of(nv.view):
+            self.stats.invalid_messages += 1
+            return
+        if not self.counters.verify(nv.cert):
+            self.stats.invalid_messages += 1
+            return
+        if len(nv.view_changes) < self.config.f + 1:
+            self.stats.invalid_messages += 1
+            return
+        best = max(nv.view_changes, key=lambda vc: vc.stable_seq)
+        if best.stable_seq > self.stable_seq:
+            self.stable_seq = best.stable_seq
+            self.stable_snapshot = best.state_snapshot
+            if self.next_exec <= best.stable_seq:
+                self.app.restore(best.state_snapshot)
+                self.next_exec = best.stable_seq + 1
+            self._truncate_log()
+        self.view = nv.view
+        self._view_change_pending = None
+        self._ensure_counter(self._commit_counter(nv.view))
+        self._pending_orders.clear()
+        self._next_order_intake = self.stable_seq + 1
+        # Drop uncommitted state from older views; the new leader's
+        # re-proposals overwrite those slots.
+        for seq, entry in list(self.log.items()):
+            if not entry.executed and seq > self.stable_seq:
+                entry.order = None
+                entry.committed = False
+                entry.commit_senders = {}
+        self.tracer.record(self.env.now, "proto.newview", self.replica_id,
+                           f"installed view={nv.view}")
+        yield self._order_lock.request()
+        try:
+            for order in sorted(nv.orders, key=lambda o: o.seq):
+                self._pending_orders[order.seq] = order
+            while self._next_order_intake in self._pending_orders:
+                next_order = self._pending_orders.pop(self._next_order_intake)
+                if next_order.seq >= self.next_exec:
+                    yield from self._commit_order(next_order)
+                self._next_order_intake += 1
+        finally:
+            self._order_lock.release()
+        self._progress_made()

@@ -1,0 +1,48 @@
+"""Simulated Intel SGX: enclaves, trusted counters, sealing, attestation.
+
+The substitution rationale is documented in DESIGN.md: real SGX is a
+hardware gate, so this package models the pieces of SGX that the paper's
+results depend on — transition/copy/paging costs, the narrow ecall
+interface, reboot semantics (volatile vs sealed state), monotonic
+counters, and attestation-gated key provisioning.
+"""
+
+from .attestation import AttestationError, AttestationService, Quote, provision_keys
+from .counters import CounterCertificate, CounterError, TrustedCounterSubsystem
+from .enclave import (
+    EPC_USABLE_BYTES,
+    JNI_CALL,
+    NO_BOUNDARY,
+    PAGE_SIZE,
+    SGX_ECALL,
+    BoundaryCosts,
+    Enclave,
+    EnclaveStats,
+    EnclaveViolation,
+    jni_enclave,
+    null_enclave,
+)
+from .sealed import SealedStorage, SealError
+
+__all__ = [
+    "AttestationError",
+    "AttestationService",
+    "BoundaryCosts",
+    "CounterCertificate",
+    "CounterError",
+    "EPC_USABLE_BYTES",
+    "Enclave",
+    "EnclaveStats",
+    "EnclaveViolation",
+    "JNI_CALL",
+    "NO_BOUNDARY",
+    "PAGE_SIZE",
+    "Quote",
+    "SGX_ECALL",
+    "SealError",
+    "SealedStorage",
+    "TrustedCounterSubsystem",
+    "jni_enclave",
+    "null_enclave",
+    "provision_keys",
+]

@@ -1,0 +1,87 @@
+"""Remote attestation and key provisioning.
+
+Before a Troxy enclave may hold cluster secrets, the operator must be
+convinced it runs the expected code on a genuine platform. Intel's
+attestation service signs a *quote* over the enclave measurement; the
+verifier checks the signature and compares the measurement against the
+expected value, then provisions secrets over the attested channel
+(Section V-A). This module models that flow, including the failure
+cases: unknown platforms and modified enclave code are rejected.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..crypto.keys import KeyRing
+from ..crypto.primitives import MacKey, derive_key
+from .enclave import Enclave
+
+
+class AttestationError(Exception):
+    """Quote verification failed."""
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed statement: enclave with ``measurement`` runs on ``platform``."""
+
+    platform_id: str
+    measurement: bytes
+    nonce: int
+    tag: bytes
+
+
+class AttestationService:
+    """Stand-in for the Intel Attestation Service (IAS)."""
+
+    def __init__(self, service_secret: bytes):
+        self._key = MacKey("ias", derive_key(service_secret, "ias"))
+        self._platforms: set[str] = set()
+        self._nonces = itertools.count(1)
+
+    def register_platform(self, platform_id: str) -> None:
+        """Enroll a genuine SGX-capable machine."""
+        self._platforms.add(platform_id)
+
+    def quote(self, platform_id: str, enclave: Enclave) -> Quote:
+        """Produce a quote for an enclave on an enrolled platform."""
+        if platform_id not in self._platforms:
+            raise AttestationError(f"platform {platform_id!r} is not enrolled")
+        nonce = next(self._nonces)
+        tag = self._key.sign(self._auth_input(platform_id, enclave.measurement, nonce))
+        return Quote(platform_id, enclave.measurement, nonce, tag)
+
+    def verify(self, quote: Quote, expected_measurement: bytes) -> None:
+        """Raise :class:`AttestationError` unless the quote is genuine
+        and attests exactly the expected code identity."""
+        if not self._key.verify(
+            self._auth_input(quote.platform_id, quote.measurement, quote.nonce), quote.tag
+        ):
+            raise AttestationError("quote signature invalid")
+        if quote.measurement != expected_measurement:
+            raise AttestationError(
+                "measurement mismatch: enclave code differs from expected identity"
+            )
+
+    @staticmethod
+    def _auth_input(platform_id: str, measurement: bytes, nonce: int) -> bytes:
+        return platform_id.encode() + b"|" + measurement + b"|" + nonce.to_bytes(8, "big")
+
+
+def provision_keys(
+    service: AttestationService,
+    platform_id: str,
+    enclave: Enclave,
+    expected_measurement: bytes,
+    keyring: KeyRing,
+) -> KeyRing:
+    """Attest ``enclave`` and hand it the cluster key ring.
+
+    Returns the keyring the enclave now holds; raises on any verification
+    failure, in which case no secret is released.
+    """
+    quote = service.quote(platform_id, enclave)
+    service.verify(quote, expected_measurement)
+    return keyring

@@ -1,0 +1,56 @@
+"""Sealed storage: enclave state that survives reboots.
+
+SGX sealing encrypts data under a key derived from the CPU and the
+enclave *measurement*, so only the same enclave code on the same machine
+can unseal it. We model exactly that binding: blobs carry an integrity
+tag under a measurement-derived key, unsealing under a different
+measurement fails, and the store itself lives outside the enclave
+(it survives :meth:`Enclave.reboot`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..crypto.primitives import MacKey, derive_key
+
+
+class SealError(Exception):
+    """Unsealing failed: wrong enclave identity or corrupted blob."""
+
+
+class SealedStorage:
+    """Per-enclave sealed key/value store."""
+
+    def __init__(self, platform_secret: bytes, measurement: bytes):
+        self._measurement = measurement
+        self._seal_key = MacKey(
+            "seal", derive_key(platform_secret, "seal", measurement.hex())
+        )
+        # Lives in untrusted persistent storage; survives enclave reboot.
+        self._blobs: dict[str, tuple[bytes, bytes]] = {}
+
+    def seal(self, name: str, data: bytes) -> None:
+        tag = self._seal_key.sign(name.encode() + b"\x00" + data)
+        self._blobs[name] = (data, tag)
+
+    def unseal(self, name: str) -> Optional[bytes]:
+        """Return the sealed data, or None if never sealed.
+
+        Raises :class:`SealError` if the blob fails its integrity check
+        (tampered on disk, or sealed by a different enclave identity).
+        """
+        entry = self._blobs.get(name)
+        if entry is None:
+            return None
+        data, tag = entry
+        if not self._seal_key.verify(name.encode() + b"\x00" + data, tag):
+            raise SealError(f"sealed blob {name!r} failed verification")
+        return data
+
+    def tamper(self, name: str, data: bytes) -> None:
+        """Fault injection: overwrite the on-disk blob without the key."""
+        entry = self._blobs.get(name)
+        if entry is None:
+            raise KeyError(name)
+        self._blobs[name] = (data, entry[1])

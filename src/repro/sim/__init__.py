@@ -1,0 +1,64 @@
+"""Deterministic discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`Environment`, :class:`Event`, :class:`Timeout`, :class:`Process`,
+  :class:`Interrupt`, :class:`AllOf`, :class:`AnyOf` — the engine.
+* :class:`Store`, :class:`Resource` — waitable queues and counted resources.
+* :class:`Network`, :class:`Node`, :class:`NicConfig`, latency models —
+  the cluster fabric.
+* :class:`RngTree` — reproducible per-component randomness.
+* :class:`Tracer` — structured event tracing.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .network import (
+    GBPS,
+    ConstantLatency,
+    LatencyModel,
+    Message,
+    Network,
+    NicConfig,
+    Node,
+    NormalLatency,
+    UniformLatency,
+)
+from .resources import Resource, ResourceRequest, Store, StoreGet
+from .rng import RngTree
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ConstantLatency",
+    "Environment",
+    "Event",
+    "GBPS",
+    "Interrupt",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NicConfig",
+    "Node",
+    "NormalLatency",
+    "Process",
+    "Resource",
+    "ResourceRequest",
+    "RngTree",
+    "SimulationError",
+    "Store",
+    "StoreGet",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "UniformLatency",
+]

@@ -1,0 +1,404 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the substrate every other subsystem runs on. It is a small,
+self-contained cousin of SimPy: an :class:`Environment` owns a priority
+queue of timestamped events, and *processes* are Python generators that
+``yield`` events to suspend until those events fire.
+
+Event lifecycle follows SimPy's two-stage model:
+
+* *triggered* — the event has a value (or exception) and sits in the
+  schedule; ``succeed()``/``fail()`` or construction (for ``Timeout``)
+  put it there.
+* *processed* — the scheduler popped it and ran its callbacks. A process
+  yielding an already-processed event resumes on the next scheduler step.
+
+Determinism guarantees
+----------------------
+Events scheduled for the same simulated time are processed in schedule
+order (a monotonically increasing tiebreaker is part of the heap key), so
+two runs with the same seeds produce byte-identical traces. Nothing in the
+engine consults wall-clock time or global randomness.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env, log):
+...     yield env.timeout(3.0)
+...     log.append(env.now)
+>>> log = []
+>>> _ = env.process(hello(env, log))
+>>> env.run()
+>>> log
+[3.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation engine."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Event:
+    """A condition that will fire at some simulated time.
+
+    Processes wait on events by yielding them. An event may succeed with a
+    value or fail with an exception; either way it triggers exactly once.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        # None once processed; a list while callbacks may still be added.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value and is (or was) scheduled."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the scheduler already ran this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded; only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event will have the exception thrown
+        into it at its yield point.
+        """
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled so the scheduler won't re-raise."""
+        self._defused = True
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class _Initialize(Event):
+    """Internal event used to start a new process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._triggered = True
+        self._ok = True
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class _Interruption(Event):
+    """Internal failed event delivering an Interrupt into a process."""
+
+    __slots__ = ()
+
+    def __init__(self, process: "Process", cause: Any):
+        super().__init__(process.env)
+        self._triggered = True
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        # Detach the process from whatever it is waiting on right now so a
+        # later trigger of that event cannot resume the process twice.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._target = None
+        self.callbacks.append(process._resume)
+        process.env._schedule(self, priority_boost=True)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The process's return value (via ``return x`` in the generator) becomes
+    the event value other processes see when waiting on it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self._triggered:
+            return
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        # Detach from the event we were waiting on (interrupt case).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self._triggered = True
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self)
+            return
+        self.env._active_process = None
+        if not isinstance(next_target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {next_target!r}, expected an Event"
+            )
+        self._target = next_target
+        if next_target.callbacks is None:
+            # Already processed: resume on the next scheduler step.
+            bridge = Event(self.env)
+            bridge._triggered = True
+            bridge._ok = next_target._ok
+            bridge._value = next_target._value
+            bridge._defused = True
+            bridge.callbacks.append(self._resume)
+            self.env._schedule(bridge)
+        else:
+            next_target.callbacks.append(self._resume)
+
+
+class Condition(Event):
+    """Base for AllOf / AnyOf composite wait conditions."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.callbacks is None:
+                # Already processed: deliver on the next scheduler step so
+                # ordering stays deterministic.
+                bridge = Event(env)
+                bridge._triggered = True
+                bridge._ok = event._ok
+                bridge._value = event._value
+                bridge._defused = True
+                bridge.callbacks.append(lambda _b, e=event: self._on_child(e))
+                env._schedule(bridge)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _collect(self) -> dict:
+        return {
+            i: event._value
+            for i, event in enumerate(self.events)
+            if event.processed and event._ok
+        }
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired; value maps index -> value."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        if all(e.processed for e in self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires as soon as one child event fires; value maps index -> value."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._ok:
+            self.succeed(self._collect())
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+
+class Environment:
+    """The simulation clock and scheduler."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(
+        self, event: Event, delay: float = 0.0, priority_boost: bool = False
+    ) -> None:
+        self._counter += 1
+        priority = 0 if priority_boost else 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._counter, event))
+
+    # -- event factories --------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        time, _priority, _tick, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("scheduler time went backwards")
+        self._now = time
+        if event.callbacks is None:
+            return
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

@@ -1,0 +1,380 @@
+"""Simulated network: nodes, NICs with finite bandwidth, latency models.
+
+The model mirrors the paper's testbed: machines with several 1 Gbps NICs
+on a LAN, plus experiments where the *client* links get an extra
+100 ± 20 ms normally-distributed delay (Section VI-A).
+
+A transfer occupies a transmit slot on the sender for the serialization
+time (``bytes / per_nic_bandwidth``), crosses the link after a sampled
+propagation delay, occupies a receive slot on the destination for the
+same serialization time, and finally lands in the destination's inbox.
+
+Fault injection: links can be cut (partitions) or lossy, and whole nodes
+can be crashed (silently dropping all traffic), which is how replica and
+Troxy failures are staged in the tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .engine import Environment
+from .resources import Resource, Store
+from .rng import RngTree
+from .trace import Tracer
+
+GBPS = 1e9 / 8  # bytes per second in one gigabit per second
+
+
+class LatencyModel:
+    """Samples one-way propagation delays in seconds."""
+
+    def sample(self, rng) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed one-way delay (our LAN default: 50 us)."""
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"negative latency: {delay}")
+        self.delay = delay
+
+    def sample(self, rng) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Uniformly distributed delay in [low, high]."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low <= high:
+            raise ValueError(f"bad uniform bounds: [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class NormalLatency(LatencyModel):
+    """Normally distributed delay, clamped below at ``floor``.
+
+    The paper's WAN experiments add 100 +/- 20 ms (normal distribution)
+    to the client NICs; ``NormalLatency(0.100, 0.020)`` reproduces that.
+    """
+
+    def __init__(self, mean: float, stddev: float, floor: float = 1e-6):
+        if mean < 0 or stddev < 0:
+            raise ValueError(f"bad normal parameters: mean={mean} stddev={stddev}")
+        self.mean = mean
+        self.stddev = stddev
+        self.floor = floor
+
+    def sample(self, rng) -> float:
+        return max(self.floor, rng.gauss(self.mean, self.stddev))
+
+    def __repr__(self) -> str:
+        return f"NormalLatency({self.mean}, {self.stddev})"
+
+
+@dataclass(frozen=True)
+class Message:
+    """Envelope delivered to a node's inbox."""
+
+    src: str
+    dst: str
+    payload: Any
+    size: int
+    sent_at: float
+    msg_id: int
+
+
+@dataclass
+class NicConfig:
+    """Network interface capacity of one node."""
+
+    count: int = 4
+    bandwidth: float = GBPS  # bytes/second per NIC
+
+    def serialization_delay(self, size: int) -> float:
+        return size / self.bandwidth
+
+
+class Node:
+    """A machine in the simulated cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cores: int = 8,
+        nic: Optional[NicConfig] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.nic = nic or NicConfig()
+        self.inbox: Store = Store(env)
+        self.cpu = Resource(env, capacity=cores)
+        self.tx = Resource(env, capacity=self.nic.count)
+        self.rx = Resource(env, capacity=self.nic.count)
+        self.crashed = False
+
+    def compute(self, seconds: float):
+        """Process generator: occupy one core for ``seconds``.
+
+        Zero-cost work skips the scheduler entirely.
+        """
+        if seconds <= 0:
+            return
+            yield  # pragma: no cover - makes this a generator
+        yield from self.cpu.use(seconds)
+
+    def crash(self) -> None:
+        """Silently drop all future inbound and outbound traffic."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        self.crashed = False
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r})"
+
+
+@dataclass
+class _LinkState:
+    """Mutable per-direction link condition (fault injection)."""
+
+    cut: bool = False
+    loss_probability: float = 0.0
+    extra_latency: Optional[LatencyModel] = None
+
+
+class Network:
+    """Connects nodes; owns latency models and link fault state."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rng_tree: Optional[RngTree] = None,
+        default_latency: Optional[LatencyModel] = None,
+        tracer: Optional[Tracer] = None,
+        fifo_delivery: bool = True,
+    ):
+        self.env = env
+        self.rng_tree = rng_tree or RngTree(0)
+        self.default_latency = default_latency or ConstantLatency(50e-6)
+        self.tracer = tracer or Tracer(enabled=False)
+        # In-order delivery per (src, dst) pair, as TCP provides for all
+        # client/replica connections in the paper's testbed.
+        self.fifo_delivery = fifo_delivery
+        self._stream_send_seq: dict[tuple, int] = {}
+        self._stream_next: dict[tuple, int] = {}
+        self._stream_buffer: dict[tuple, dict[int, Message]] = {}
+        self._stream_seq_of: dict[int, tuple] = {}
+        self.nodes: dict[str, Node] = {}
+        self._latency_overrides: dict[tuple[str, str], LatencyModel] = {}
+        self._links: dict[tuple[str, str], _LinkState] = {}
+        self._loss_rng = self.rng_tree.derive("network", "loss")
+        self._latency_rngs: dict[tuple[str, str], Any] = {}
+        self._msg_ids = itertools.count()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def add_node(
+        self, name: str, cores: int = 8, nic: Optional[NicConfig] = None
+    ) -> Node:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name: {name!r}")
+        node = Node(self.env, name, cores=cores, nic=nic)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def set_latency(self, src: str, dst: str, model: LatencyModel) -> None:
+        """Override the one-way latency for the src->dst direction."""
+        self._latency_overrides[(src, dst)] = model
+
+    def set_latency_symmetric(self, a: str, b: str, model: LatencyModel) -> None:
+        self.set_latency(a, b, model)
+        self.set_latency(b, a, model)
+
+    def _link(self, src: str, dst: str) -> _LinkState:
+        return self._links.setdefault((src, dst), _LinkState())
+
+    # -- fault injection -----------------------------------------------------
+
+    def cut(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Partition the link (drop everything)."""
+        self._link(src, dst).cut = True
+        if symmetric:
+            self._link(dst, src).cut = True
+
+    def heal(self, src: str, dst: str, symmetric: bool = True) -> None:
+        self._link(src, dst).cut = False
+        if symmetric:
+            self._link(dst, src).cut = False
+
+    def reset_streams(self, node_name: str) -> None:
+        """Forget in-order stream state involving ``node_name``.
+
+        Models connections being re-established after a crash/recovery:
+        buffered out-of-order packets of the dead connections are
+        dropped and sequence tracking starts fresh."""
+        for table in (self._stream_send_seq, self._stream_next, self._stream_buffer):
+            for key in [k for k in table if k[0] == node_name or k[1] == node_name]:
+                del table[key]
+
+    def set_loss(self, src: str, dst: str, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"bad loss probability: {probability}")
+        self._link(src, dst).loss_probability = probability
+
+    # -- transfer ------------------------------------------------------------
+
+    def _deliver(self, msg: Message, receiver: Node) -> None:
+        if receiver.crashed:
+            return
+        self.tracer.record(
+            self.env.now, "net.deliver", msg.dst,
+            f"{msg.src}->{msg.dst} {type(msg.payload).__name__} ({msg.size} B)",
+        )
+        receiver.inbox.put(msg)
+
+    def _stream_arrived(self, msg: Message, receiver: Node) -> None:
+        """In-order (TCP-like) delivery: release the longest in-sequence
+        prefix of the (src, dst) stream; buffer anything that overtook
+        its predecessors."""
+        entry = self._stream_seq_of.pop(msg.msg_id, None)
+        if entry is None:
+            self._deliver(msg, receiver)
+            return
+        pair, seq = entry
+        buffer = self._stream_buffer.setdefault(pair, {})
+        buffer[seq] = msg
+        next_seq = self._stream_next.get(pair, 0)
+        while next_seq in buffer:
+            self._deliver(buffer.pop(next_seq), receiver)
+            next_seq += 1
+        self._stream_next[pair] = next_seq
+
+    def _latency_for(self, src: str, dst: str) -> float:
+        model = self._latency_overrides.get((src, dst), self.default_latency)
+        key = (src, dst)
+        rng = self._latency_rngs.get(key)
+        if rng is None:
+            rng = self.rng_tree.derive("network", "latency", src, dst)
+            self._latency_rngs[key] = rng
+        delay = model.sample(rng)
+        state = self._links.get(key)
+        if state is not None and state.extra_latency is not None:
+            delay += state.extra_latency.sample(rng)
+        return delay
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        size: Optional[int] = None,
+        stream: Optional[str] = None,
+    ) -> None:
+        """Fire-and-forget transfer of ``payload`` from ``src`` to ``dst``.
+
+        ``size`` defaults to the payload's ``wire_size`` attribute.
+        ``stream`` names the TCP connection this message rides on (e.g.
+        a client id); in-order delivery is enforced per (src, dst,
+        stream). Messages of different streams may overtake each other,
+        exactly like independent TCP connections.
+        """
+        if size is None:
+            size = getattr(payload, "wire_size", None)
+            if size is None:
+                raise ValueError(
+                    f"payload {payload!r} has no wire_size; pass size explicitly"
+                )
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"unknown endpoint in {src!r}->{dst!r}")
+        sender = self.nodes[src]
+        receiver = self.nodes[dst]
+        if sender.crashed:
+            return
+        state = self._links.get((src, dst))
+        if state is not None:
+            if state.cut:
+                return
+            if state.loss_probability and self._loss_rng.random() < state.loss_probability:
+                self.tracer.record(self.env.now, "net.drop", src, f"->{dst} lost ({size} B)")
+                return
+        self.messages_sent += 1
+        self.bytes_sent += size
+        msg = Message(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size=int(size),
+            sent_at=self.env.now,
+            msg_id=next(self._msg_ids),
+        )
+        if self.fifo_delivery:
+            pair = (src, dst, stream)
+            seq = self._stream_send_seq.get(pair, 0)
+            self._stream_send_seq[pair] = seq + 1
+            self._stream_seq_of[msg.msg_id] = (pair, seq)
+        self._transfer(msg, sender, receiver)
+
+    def _transfer(self, msg: Message, sender: Node, receiver: Node) -> None:
+        """Callback-chained transfer: tx slot -> serialize -> propagate ->
+        rx slot -> serialize -> deliver. (Hot path: avoids spawning a
+        process per message.)"""
+        env = self.env
+
+        def on_tx_granted(_event=None) -> None:
+            done = env.timeout(sender.nic.serialization_delay(msg.size))
+            done.callbacks.append(on_tx_done)
+
+        def on_tx_done(_event) -> None:
+            sender.tx.release()
+            arrival = env.timeout(self._latency_for(msg.src, msg.dst))
+            arrival.callbacks.append(on_arrival)
+
+        def on_arrival(_event) -> None:
+            # Crashed receivers still consume stream sequence numbers
+            # (the final _deliver drops the payload); otherwise in-order
+            # streams would wedge forever across a crash.
+            if receiver.rx.try_acquire():
+                on_rx_granted()
+            else:
+                receiver.rx.request().callbacks.append(on_rx_granted)
+
+        def on_rx_granted(_event=None) -> None:
+            done = env.timeout(receiver.nic.serialization_delay(msg.size))
+            done.callbacks.append(on_rx_done)
+
+        def on_rx_done(_event) -> None:
+            receiver.rx.release()
+            if self.fifo_delivery:
+                # TCP semantics: each (src,dst) stream delivers in send
+                # order. A packet that overtook its predecessors waits in
+                # the reorder buffer (head-of-line blocking).
+                self._stream_arrived(msg, receiver)
+                return
+            self._deliver(msg, receiver)
+
+        if sender.tx.try_acquire():
+            on_tx_granted()
+        else:
+            sender.tx.request().callbacks.append(on_tx_granted)

@@ -1,0 +1,145 @@
+"""Waitable resources for simulation processes.
+
+Two primitives cover everything the rest of the library needs:
+
+* :class:`Store` — an unbounded FIFO queue of items; ``get()`` returns an
+  event that fires when an item is available. Used for message inboxes.
+* :class:`Resource` — a counted resource with FIFO admission (e.g. CPU
+  cores, NIC transmit queues). ``request()``/``release()`` or the
+  higher-level ``use(duration)`` process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from .engine import Environment, Event
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; fires with the item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """Unbounded FIFO store; the backbone of message passing."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (for inspection in tests)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add an item; wakes the oldest waiting getter, if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> StoreGet:
+        """Return an event that fires with the next item."""
+        event = StoreGet(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel(self, event: StoreGet) -> None:
+        """Withdraw an un-triggered get request (e.g. on timeout)."""
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+
+class ResourceRequest(Event):
+    """Event returned by :meth:`Resource.request`; fires on admission."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A counted FIFO resource (CPU cores, transmit slots, ...)."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[ResourceRequest] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def try_acquire(self) -> bool:
+        """Non-blocking fast path: grab a unit now or return False.
+
+        No event is scheduled; pair with :meth:`release`.
+        """
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
+
+    def request(self) -> ResourceRequest:
+        """Return an event that fires when a unit is granted."""
+        event = ResourceRequest(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit; admits the oldest waiter, if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching request()")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:
+                continue
+            waiter.succeed()
+            return
+        self._in_use -= 1
+
+    def use(self, duration: float) -> Generator:
+        """Process generator: hold one unit for ``duration`` seconds.
+
+        Usage inside a process::
+
+            yield from cpu.use(0.000'02)
+        """
+        if self._in_use < self.capacity:
+            # Fast path: grant immediately without a request event.
+            self._in_use += 1
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                self.release()
+            return
+        yield self.request()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()

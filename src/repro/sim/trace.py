@@ -1,0 +1,61 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects (time, category, node, detail) records. It is
+cheap when disabled, filterable when enabled, and is what the Fig. 5
+message-flow benchmark uses to count protocol phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    node: str
+    detail: str
+    data: Any = None
+
+    def __str__(self) -> str:
+        return f"[{self.time * 1000:10.3f} ms] {self.category:<12} {self.node:<14} {self.detail}"
+
+
+class Tracer:
+    """Collects trace records; disabled tracers drop everything."""
+
+    def __init__(self, enabled: bool = False, categories: Optional[set[str]] = None):
+        self.enabled = enabled
+        self.categories = categories
+        self.records: list[TraceRecord] = []
+
+    def record(
+        self, time: float, category: str, node: str, detail: str, data: Any = None
+    ) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, node, detail, data))
+
+    def filter(
+        self, category: Optional[str] = None, node: Optional[str] = None
+    ) -> list[TraceRecord]:
+        """Records matching the given category and/or node."""
+        return [
+            r
+            for r in self.records
+            if (category is None or r.category == category)
+            and (node is None or r.node == node)
+        ]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def dump(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        """Human-readable rendering of the (filtered) trace."""
+        return "\n".join(str(r) for r in (records if records is not None else self.records))

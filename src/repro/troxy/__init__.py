@@ -1,0 +1,29 @@
+"""Troxy: the trusted proxy that makes BFT transparent to legacy clients.
+
+* :mod:`repro.troxy.core` — trusted logic (runs inside the enclave).
+* :mod:`repro.troxy.host` — untrusted message pump around it.
+* :mod:`repro.troxy.cache` — the managed fast-read cache.
+* :mod:`repro.troxy.monitor` — conflict-rate monitor + adaptive switch.
+* :mod:`repro.troxy.messages` — Troxy-to-Troxy cache protocol.
+"""
+
+from .cache import CacheEntry, CacheStats, FastReadCache
+from .core import Action, TroxyCore, TroxyStats
+from .host import TROXY_ECALLS, TroxyHost
+from .messages import CacheEntryReply, CacheQuery
+from .monitor import ConflictMonitor, MonitorStats
+
+__all__ = [
+    "Action",
+    "CacheEntry",
+    "CacheEntryReply",
+    "CacheQuery",
+    "CacheStats",
+    "ConflictMonitor",
+    "FastReadCache",
+    "MonitorStats",
+    "TROXY_ECALLS",
+    "TroxyCore",
+    "TroxyHost",
+    "TroxyStats",
+]

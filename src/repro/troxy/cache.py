@@ -1,0 +1,145 @@
+"""The managed fast-read cache (Section IV).
+
+Entries are keyed by the *request identity* (digest of the canonical
+read request, the paper's ``id(req)``) and indexed by the application
+state keys they depend on, so a write can invalidate exactly the
+entries it outdates — before the write's reply becomes visible.
+
+Writes never *update* the cache ("a faulty replica should not be able
+to pollute the cache", Section IV-B); entries are only installed from
+voted results of ordered reads, and only removed by write invalidation,
+capacity eviction, or enclave reboot.
+
+Memory accounting: with ``store_outside`` (the paper's optimization) a
+cached reply body lives encrypted in untrusted memory and only its
+digest occupies EPC; otherwise the full entry counts against the EPC.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto.primitives import DIGEST_SIZE
+from ..hybster.messages import Reply
+from ..sgx.enclave import Enclave
+
+
+@dataclass
+class CacheEntry:
+    """One cached read result."""
+
+    request_digest: bytes
+    reply: Reply
+    keys: tuple[str, ...]
+
+    @property
+    def enclave_bytes(self) -> int:
+        return DIGEST_SIZE * 2 + sum(len(k) for k in self.keys) + 16
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    installs: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    clears: int = 0
+
+
+class FastReadCache:
+    """LRU cache of read results with write invalidation."""
+
+    def __init__(
+        self,
+        enclave: Optional[Enclave] = None,
+        max_entries: int = 65536,
+        store_outside: bool = True,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.enclave = enclave
+        self.max_entries = max_entries
+        self.store_outside = store_outside
+        self.stats = CacheStats()
+        self._entries: OrderedDict[bytes, CacheEntry] = OrderedDict()
+        self._key_index: dict[str, set[bytes]] = {}
+        if enclave is not None:
+            enclave.on_reboot(self.clear)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _entry_footprint(self, entry: CacheEntry) -> int:
+        if self.store_outside:
+            return entry.enclave_bytes
+        return entry.enclave_bytes + entry.reply.result.size
+
+    def get(self, request_digest: bytes) -> Optional[Reply]:
+        """Look up the cached reply for a read request; counts hit/miss."""
+        entry = self._entries.get(request_digest)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(request_digest)
+        self.stats.hits += 1
+        return entry.reply
+
+    def peek(self, request_digest: bytes) -> Optional[Reply]:
+        """Look up without touching hit/miss statistics or LRU order."""
+        entry = self._entries.get(request_digest)
+        return None if entry is None else entry.reply
+
+    def install(self, request_digest: bytes, reply: Reply, keys: tuple[str, ...]) -> None:
+        """Install a *voted* ordered-read result."""
+        self.remove(request_digest)
+        entry = CacheEntry(request_digest, reply, keys)
+        self._entries[request_digest] = entry
+        for key in keys:
+            self._key_index.setdefault(key, set()).add(request_digest)
+        if self.enclave is not None:
+            self.enclave.allocate(self._entry_footprint(entry))
+        self.stats.installs += 1
+        while len(self._entries) > self.max_entries:
+            oldest_digest = next(iter(self._entries))
+            self.remove(oldest_digest)
+            self.stats.evictions += 1
+
+    def remove(self, request_digest: bytes) -> bool:
+        entry = self._entries.pop(request_digest, None)
+        if entry is None:
+            return False
+        for key in entry.keys:
+            digests = self._key_index.get(key)
+            if digests is not None:
+                digests.discard(request_digest)
+                if not digests:
+                    del self._key_index[key]
+        if self.enclave is not None:
+            self.enclave.free(self._entry_footprint(entry))
+        return True
+
+    def invalidate_keys(self, keys) -> int:
+        """Remove every entry depending on any of ``keys``.
+
+        Called while processing a write, *before* the write's reply is
+        authenticated — the ordering that makes fast reads linearizable.
+        """
+        removed = 0
+        for key in keys:
+            for digest in list(self._key_index.get(key, ())):
+                if self.remove(digest):
+                    removed += 1
+        self.stats.invalidations += removed
+        return removed
+
+    def clear(self) -> None:
+        """Drop everything (enclave reboot: volatile state is lost)."""
+        if self.enclave is not None:
+            for entry in self._entries.values():
+                self.enclave.free(self._entry_footprint(entry))
+        self._entries.clear()
+        self._key_index.clear()
+        self.stats.clears += 1

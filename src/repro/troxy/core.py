@@ -1,0 +1,417 @@
+"""The trusted Troxy core (the code that runs inside the enclave).
+
+This is the relocated client-side BFT library plus the fast-read cache:
+
+* terminates the clients' TLS sessions (session keys never leave the
+  enclave);
+* translates decrypted client requests into authenticated BFT requests
+  (atomically, so the untrusted replica part cannot alter them);
+* votes over Troxy-authenticated replies from f+1 replicas;
+* runs the fast-read protocol of Fig. 4 with the conflict monitor's
+  adaptive total-order switch.
+
+Every public method here is the body of one *ecall*; the untrusted host
+(:mod:`repro.troxy.host`) invokes them through the enclave boundary and
+acts on the returned :class:`Action` values. The core never touches the
+network itself — the prototype's "no ocalls" property.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..apps.base import Operation
+from ..crypto.costs import RuntimeProfile, profile as cost_profile
+from ..crypto.keys import KeyRing
+from ..crypto.primitives import DIGEST_SIZE
+from ..crypto.tls import TlsEndpoint, TlsError
+from ..hybster.config import ClusterConfig
+from ..hybster.messages import Reply, Request
+from ..hybster.secure import SecureEnvelope, open_body, seal_body
+from ..sgx.enclave import Enclave
+from ..sim.network import Node
+from .cache import FastReadCache
+from .messages import CacheEntryReply, CacheQuery
+from .monitor import ConflictMonitor
+
+
+@dataclass(frozen=True)
+class Action:
+    """What the untrusted host must do after an ecall returns.
+
+    kind is one of:
+      "reply"  — send ``envelope`` to ``dst`` (the client's machine);
+      "order"  — submit ``request`` to the local replication logic;
+      "query"  — send each (replica_id, CacheQuery) in ``queries`` and
+                 arm a timeout for ``nonce``;
+      "send_reply" — send the authenticated ``reply`` to replica ``dst``;
+      "deliver_local" — feed ``reply`` to the local voter;
+      "wait"   — nothing yet;
+      "drop"   — discard (failed authentication etc.).
+    """
+
+    kind: str
+    dst: str = ""
+    envelope: Optional[SecureEnvelope] = None
+    request: Optional[Request] = None
+    reply: Optional[Reply] = None
+    queries: tuple = ()
+    nonce: int = 0
+    reason: str = ""
+
+
+@dataclass
+class _Pending:
+    """Voter state for one in-flight client request."""
+
+    client_request: Request
+    bft_request: Request
+    client_machine: str
+    votes: dict[str, Reply] = field(default_factory=dict)
+    done: bool = False
+
+
+@dataclass
+class _FastRead:
+    """State of one outstanding fast-read quorum check."""
+
+    client_request: Request
+    bft_request: Request
+    client_machine: str
+    local_reply: Reply
+    expected: set[str] = field(default_factory=set)
+    failed: bool = False
+
+
+@dataclass
+class TroxyStats:
+    client_requests: int = 0
+    fast_read_attempts: int = 0
+    fast_read_hits: int = 0
+    fast_read_conflicts: int = 0
+    fast_read_timeouts: int = 0
+    ordered_requests: int = 0
+    replies_voted: int = 0
+    invalid_messages: int = 0
+    cache_queries_answered: int = 0
+    pending_evicted: int = 0
+
+
+class TroxyCore:
+    """Trusted proxy logic for one replica."""
+
+    def __init__(
+        self,
+        node: Node,
+        enclave: Enclave,
+        replica_id: str,
+        config: ClusterConfig,
+        keyring: KeyRing,
+        rng,
+        runtime: str = "cpp_sgx",
+        fast_reads: bool = True,
+        cache: Optional[FastReadCache] = None,
+        monitor: Optional[ConflictMonitor] = None,
+        keys_fn: Optional[Callable[[Operation], tuple]] = None,
+    ):
+        self.node = node
+        self.enclave = enclave
+        self.replica_id = replica_id
+        self.config = config
+        self.keyring = keyring
+        self.rng = rng
+        self.profile: RuntimeProfile = cost_profile(runtime)
+        self.fast_reads = fast_reads
+        self.cache = cache if cache is not None else FastReadCache(enclave)
+        self.monitor = monitor or ConflictMonitor()
+        self.keys_fn = keys_fn or (lambda op: (op.key,))
+        self.stats = TroxyStats()
+        self._sessions: dict[str, TlsEndpoint] = {}
+        self._pending: dict[tuple[str, int], _Pending] = {}
+        self._fast_reads: dict[int, _FastRead] = {}
+        self._nonces = itertools.count(1)
+        self._instance_key = keyring.troxy_instance(replica_id)
+        enclave.on_reboot(self._on_reboot)
+
+    def _on_reboot(self) -> None:
+        # Volatile state is lost; clients re-establish sessions and
+        # retransmit. (The cache registers its own reboot hook.)
+        self._sessions.clear()
+        self._pending.clear()
+        self._fast_reads.clear()
+
+    # -- ecall: session management ------------------------------------------------
+
+    def install_session(self, client_id: str, endpoint: TlsEndpoint) -> None:
+        """Store a freshly negotiated session key (ecall #1)."""
+        self._sessions[client_id] = endpoint
+
+    # -- ecall: client request intake ------------------------------------------------
+
+    def handle_client_envelope(self, envelope: SecureEnvelope, client_machine: str):
+        """Decrypt, verify, and route one client request (ecall #2)."""
+        self.stats.client_requests += 1
+        body = envelope.body
+        if not isinstance(body, Request):
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="not a request")
+        endpoint = self._sessions.get(body.client_id)
+        if endpoint is None:
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="no session")
+        yield from self.node.compute(self.profile.aead_cost(envelope.wire_size))
+        try:
+            open_body(endpoint, envelope)
+        except TlsError:
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="bad record")
+        # Atomically translate into an authenticated BFT request with this
+        # replica as the reply convergence point.
+        bft_request = Request(
+            client_id=body.client_id,
+            request_id=body.request_id,
+            op=body.op,
+            origin=self.replica_id,
+            unordered=False,
+        )
+        yield from self.node.compute(
+            self.profile.hash_cost(bft_request.wire_size)
+            + self.profile.mac_cost(DIGEST_SIZE)
+        )
+        if (
+            self.fast_reads
+            and bft_request.op.is_read
+            and self.monitor.should_try_fast_read()
+        ):
+            action = yield from self._try_fast_read(body, bft_request, client_machine)
+            if action is not None:
+                return action
+        return self._order(body, bft_request, client_machine)
+
+    #: upper bound on in-flight voter records; abandoned entries (e.g.
+    #: clients that failed over elsewhere) are evicted oldest-first.
+    MAX_PENDING = 100_000
+
+    def _order(self, client_request: Request, bft_request: Request, client_machine: str) -> Action:
+        self.stats.ordered_requests += 1
+        key = (bft_request.client_id, bft_request.request_id)
+        self._pending[key] = _Pending(client_request, bft_request, client_machine)
+        while len(self._pending) > self.MAX_PENDING:
+            self._pending.pop(next(iter(self._pending)))
+            self.stats.pending_evicted += 1
+        return Action("order", request=bft_request)
+
+    def _cache_key(self, op: Operation) -> bytes:
+        # Cache identity is the *operation*, shared across clients.
+        return op.digest()
+
+    def _try_fast_read(self, client_request: Request, bft_request: Request, client_machine: str):
+        """Fig. 4, check_cache: local lookup then f remote probes."""
+        self.stats.fast_read_attempts += 1
+        yield from self.node.compute(self.profile.hash_cost(bft_request.op.size))
+        cached = self.cache.get(self._cache_key(bft_request.op))
+        if cached is None:
+            self.monitor.record_miss()
+            return None  # cache miss: order as any other request
+        if self.cache.store_outside:
+            # The reply body lives encrypted in untrusted memory; validate
+            # it against the digest kept inside the enclave (Section V-A).
+            yield from self.node.compute(self.profile.hash_cost(cached.result.size))
+        else:
+            # Stored in enclave memory: touching it may page against the
+            # EPC limit.
+            yield from self.enclave.touch(cached.result.size)
+        nonce = next(self._nonces)
+        replicas = [r for r in self.config.replica_ids if r != self.replica_id]
+        chosen = self.rng.sample(replicas, self.config.f)
+        queries = []
+        request_digest = self._cache_key(bft_request.op)
+        for replica_id in chosen:
+            yield from self.node.compute(self.profile.mac_cost(DIGEST_SIZE))
+            tag = self._instance_key.sign(
+                CacheQuery.auth_input(request_digest, self.replica_id, nonce)
+            )
+            queries.append(
+                (replica_id, CacheQuery(request_digest, self.replica_id, nonce, tag))
+            )
+        self._fast_reads[nonce] = _FastRead(
+            client_request, bft_request, client_machine, cached, expected=set(chosen)
+        )
+        return Action("query", queries=tuple(queries), nonce=nonce)
+
+    # -- ecall: remote cache protocol ---------------------------------------------------
+
+    def answer_cache_query(self, query: CacheQuery):
+        """Fig. 4, get_remote_cache_entry (ecall #3)."""
+        yield from self.node.compute(self.profile.mac_cost(DIGEST_SIZE))
+        asker_key = self.keyring.troxy_instance(query.asker)
+        if not asker_key.verify(
+            CacheQuery.auth_input(query.request_digest, query.asker, query.nonce), query.tag
+        ):
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="bad cache query tag")
+        self.stats.cache_queries_answered += 1
+        cached = self.cache.peek(query.request_digest)
+        reply_digest = None if cached is None else cached.result_digest()
+        yield from self.node.compute(self.profile.mac_cost(DIGEST_SIZE))
+        tag = self._instance_key.sign(
+            CacheEntryReply.auth_input(
+                query.request_digest, reply_digest, self.replica_id, query.nonce
+            )
+        )
+        answer = CacheEntryReply(
+            query.request_digest, reply_digest, self.replica_id, query.nonce, tag
+        )
+        return Action("send_cache_reply", dst=query.asker, reply=None, queries=(answer,))
+
+    def handle_cache_entry_reply(self, answer: CacheEntryReply):
+        """Fig. 4, the quorum comparison at the voting Troxy (ecall #4)."""
+        state = self._fast_reads.get(answer.nonce)
+        if state is None:
+            return Action("wait")  # late or replayed: nothing outstanding
+        yield from self.node.compute(self.profile.mac_cost(DIGEST_SIZE))
+        responder_key = self.keyring.troxy_instance(answer.responder)
+        if not responder_key.verify(
+            CacheEntryReply.auth_input(
+                answer.request_digest, answer.reply_digest, answer.responder, answer.nonce
+            ),
+            answer.tag,
+        ):
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="bad cache reply tag")
+        if answer.responder not in state.expected:
+            return Action("wait")
+        state.expected.discard(answer.responder)
+        local_digest = state.local_reply.result_digest()
+        matches = (
+            answer.request_digest == self._cache_key(state.bft_request.op)
+            and answer.reply_digest == local_digest
+        )
+        if not matches:
+            state.failed = True
+            del self._fast_reads[answer.nonce]
+            self.monitor.record_conflict()
+            self.stats.fast_read_conflicts += 1
+            # Entry may be outdated: drop it and order the read instead.
+            self.cache.remove(self._cache_key(state.bft_request.op))
+            return self._order(state.client_request, state.bft_request, state.client_machine)
+        if state.expected:
+            return Action("wait")
+        # All f remote caches match the local one: fast read succeeds.
+        del self._fast_reads[answer.nonce]
+        self.monitor.record_fast_success()
+        self.stats.fast_read_hits += 1
+        envelope = yield from self._seal_client_reply(
+            state.client_request, state.local_reply.result, state.local_reply.request_digest
+        )
+        if envelope is None:
+            return Action("drop", reason="no client session")
+        return Action("reply", dst=state.client_machine, envelope=envelope)
+
+    def fast_read_timeout(self, nonce: int):
+        """Unresponsive remote Troxy: fall back to ordering (ecall #5)."""
+        state = self._fast_reads.pop(nonce, None)
+        if state is None or state.failed:
+            return Action("wait")
+        self.monitor.record_conflict()
+        self.stats.fast_read_timeouts += 1
+        return self._order(state.client_request, state.bft_request, state.client_machine)
+
+    # -- ecall: reply path ----------------------------------------------------------------
+
+    def authenticate_local_reply(self, request: Request, reply: Reply):
+        """Invalidate-and-authenticate for the local replica's reply
+        (ecall #6). The invalidation happening *before* the
+        authentication is what entangles cache maintenance with the
+        protocol (Section IV-B)."""
+        if not request.op.is_read:
+            keys = self.keys_fn(request.op)
+            yield from self.node.compute(self.profile.hash_cost(64) * max(1, len(keys)))
+            self.cache.invalidate_keys(keys)
+        elif self.fast_reads:
+            # Install the local replica's result for this ordered read. A
+            # faulty local replica can only poison *this* cache; the fast-
+            # read path requires f+1 matching entries from distinct
+            # Troxies, so a poisoned entry can never reach a client.
+            yield from self.node.compute(self.profile.hash_cost(request.op.size))
+            self.cache.install(
+                self._cache_key(request.op), reply, self.keys_fn(request.op)
+            )
+        yield from self.node.compute(self.profile.mac_cost(reply.wire_size))
+        tag = self._instance_key.sign(reply.auth_bytes())
+        authenticated = Reply(
+            replica_id=reply.replica_id,
+            client_id=reply.client_id,
+            request_id=reply.request_id,
+            result=reply.result,
+            request_digest=reply.request_digest,
+            view=reply.view,
+            troxy_tag=tag,
+        )
+        if request.origin == self.replica_id:
+            # Local reply feeding the local voter: fold the vote into this
+            # ecall instead of crossing the boundary a second time
+            # (transition minimization, Section V-A).
+            return (yield from self._vote(authenticated))
+        return Action("send_reply", dst=request.origin, reply=authenticated)
+
+    def handle_replica_reply(self, reply: Reply):
+        """The server-side voter (ecall #7): verify the Troxy
+        authentication and count the vote; on f+1 matching replies seal
+        the result for the client."""
+        if reply.troxy_tag is None:
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="missing troxy tag")
+        yield from self.node.compute(self.profile.mac_cost(reply.wire_size))
+        sender_key = self.keyring.troxy_instance(reply.replica_id)
+        if not sender_key.verify(reply.auth_bytes(), reply.troxy_tag):
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="bad troxy tag")
+        return (yield from self._vote(reply))
+
+    def _vote(self, reply: Reply):
+        """Count one authenticated vote (trusted-internal)."""
+        key = (reply.client_id, reply.request_id)
+        pending = self._pending.get(key)
+        if pending is None or pending.done:
+            return Action("wait")
+        pending.votes[reply.replica_id] = reply
+        matching = [
+            vote for vote in pending.votes.values() if vote.matches(reply)
+        ]
+        if len(matching) < self.config.reply_quorum:
+            return Action("wait")
+        pending.done = True
+        del self._pending[key]
+        self.stats.replies_voted += 1
+        if self.fast_reads and pending.bft_request.op.is_read:
+            # Install the *voted* ordered-read result.
+            self.cache.install(
+                self._cache_key(pending.bft_request.op),
+                reply,
+                self.keys_fn(pending.bft_request.op),
+            )
+        envelope = yield from self._seal_client_reply(
+            pending.client_request, reply.result, reply.request_digest
+        )
+        if envelope is None:
+            return Action("drop", reason="no client session")
+        return Action("reply", dst=pending.client_machine, envelope=envelope)
+
+    # -- helpers -------------------------------------------------------------------------------
+
+    def _seal_client_reply(self, client_request: Request, result, request_digest: bytes):
+        endpoint = self._sessions.get(client_request.client_id)
+        if endpoint is None:
+            return None
+        client_reply = Reply(
+            replica_id=self.replica_id,
+            client_id=client_request.client_id,
+            request_id=client_request.request_id,
+            result=result,
+            request_digest=request_digest,
+        )
+        yield from self.node.compute(self.profile.aead_cost(client_reply.wire_size))
+        return seal_body(endpoint, client_reply)

@@ -1,0 +1,157 @@
+"""The untrusted replica-side part of Troxy.
+
+Owns the node's network endpoint: accepts client connections, shuttles
+buffers across the enclave boundary, transmits whatever the trusted
+core tells it to, and hands protocol traffic to the co-located Hybster
+replica. It *cannot* read session keys, forge Troxy authentications, or
+alter sealed replies — the fault-injection tests exercise exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..crypto.tls import TlsEndpoint
+from ..hybster.messages import Reply, Request
+from ..hybster.replica import Replica
+from ..hybster.secure import SecureEnvelope
+from ..sgx.enclave import Enclave
+from ..sim.engine import Environment
+from ..sim.network import Network, Node
+from .core import Action, TroxyCore
+from .messages import CacheEntryReply, CacheQuery
+
+#: ecalls the host registers on the enclave; together with Hybster's
+#: three trusted-subsystem certify calls this stays well under the
+#: prototype's 16-entry interface.
+TROXY_ECALLS = (
+    "install_session",
+    "handle_client_envelope",
+    "answer_cache_query",
+    "handle_cache_entry_reply",
+    "fast_read_timeout",
+    "authenticate_local_reply",
+    "handle_replica_reply",
+)
+
+
+class TroxyHost:
+    """Untrusted message pump around one TroxyCore."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        node: Node,
+        replica: Replica,
+        core: TroxyCore,
+        enclave: Enclave,
+        query_timeout: float = 0.1,
+    ):
+        self.env = env
+        self.net = net
+        self.node = node
+        self.replica = replica
+        self.core = core
+        self.enclave = enclave
+        self.query_timeout = query_timeout
+        for name in TROXY_ECALLS:
+            enclave.register_ecall(name, getattr(core, name))
+        replica.reply_sink = self._local_reply_sink
+        self._stopped = False
+        env.process(self._loop(), name=f"{node.name}:troxy-host")
+
+    @property
+    def replica_id(self) -> str:
+        return self.replica.replica_id
+
+    def stop(self) -> None:
+        """Crash the whole server (replica + Troxy)."""
+        self._stopped = True
+        self.replica.stop()
+
+    def install_client_session(self, client_id: str, endpoint: TlsEndpoint):
+        """Process generator: hand a negotiated session key to the core."""
+        yield from self.enclave.ecall(
+            "install_session", client_id, endpoint, bytes_in=64
+        )
+
+    # -- message pump ----------------------------------------------------------
+
+    def _loop(self):
+        while True:
+            msg = yield self.node.inbox.get()
+            if self._stopped:
+                continue
+            self.env.process(
+                self._handle(msg.payload, msg.src), name=f"{self.node.name}:troxy-handle"
+            )
+
+    def _handle(self, payload, src: str):
+        if isinstance(payload, SecureEnvelope) and isinstance(payload.body, Request):
+            action = yield from self.enclave.ecall(
+                "handle_client_envelope", payload, src,
+                bytes_in=payload.wire_size,
+            )
+            yield from self._act(action)
+        elif isinstance(payload, CacheQuery):
+            action = yield from self.enclave.ecall(
+                "answer_cache_query", payload, bytes_in=payload.wire_size
+            )
+            yield from self._act(action)
+        elif isinstance(payload, CacheEntryReply):
+            action = yield from self.enclave.ecall(
+                "handle_cache_entry_reply", payload, bytes_in=payload.wire_size
+            )
+            yield from self._act(action)
+        elif isinstance(payload, Reply):
+            action = yield from self.enclave.ecall(
+                "handle_replica_reply", payload, bytes_in=payload.wire_size
+            )
+            yield from self._act(action)
+        else:
+            self.replica.dispatch(payload)
+
+    def _act(self, action: Optional[Action]):
+        if action is None or action.kind in ("wait", "drop"):
+            return
+            yield  # pragma: no cover - generator marker
+        if action.kind == "reply":
+            self.net.send(
+                self.node.name, action.dst, action.envelope,
+                stream=action.envelope.body.client_id,
+            )
+        elif action.kind == "order":
+            yield from self.replica.submit(action.request)
+        elif action.kind == "query":
+            for replica_id, query in action.queries:
+                self.net.send(self.node.name, replica_id, query)
+            self.env.process(
+                self._query_timer(action.nonce), name=f"{self.node.name}:qtimer"
+            )
+        elif action.kind == "send_cache_reply":
+            self.net.send(self.node.name, action.dst, action.queries[0])
+        elif action.kind == "send_reply":
+            self.net.send(self.node.name, action.dst, action.reply)
+        elif action.kind == "deliver_local":
+            follow_up = yield from self.enclave.ecall(
+                "handle_replica_reply", action.reply, bytes_in=action.reply.wire_size
+            )
+            yield from self._act(follow_up)
+        else:
+            raise ValueError(f"unknown action kind: {action.kind!r}")
+
+    def _query_timer(self, nonce: int):
+        yield self.env.timeout(self.query_timeout)
+        if self._stopped:
+            return
+        action = yield from self.enclave.ecall("fast_read_timeout", nonce)
+        yield from self._act(action)
+
+    def _local_reply_sink(self, request: Request, reply: Reply):
+        """Installed as the co-located replica's reply sink."""
+        action = yield from self.enclave.ecall(
+            "authenticate_local_reply", request, reply,
+            bytes_in=reply.wire_size,
+        )
+        yield from self._act(action)

@@ -1,0 +1,68 @@
+"""Troxy-to-Troxy cache protocol messages (Fig. 4).
+
+Queries and replies are authenticated under the Troxy group secret
+bound to the sending instance's identifier, and carry a nonce so a
+malicious relaying replica cannot replay an earlier (stale) answer for
+a new query. Only reply *digests* travel between replicas — the paper's
+hash optimization (Section VI-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto.primitives import DIGEST_SIZE, MAC_SIZE
+
+_HEADER = 16
+
+
+@dataclass(frozen=True)
+class CacheQuery:
+    """Ask a remote Troxy for its cache entry for one read request."""
+
+    request_digest: bytes
+    asker: str  # replica id whose Troxy is voting
+    nonce: int
+    tag: bytes
+
+    @staticmethod
+    def auth_input(request_digest: bytes, asker: str, nonce: int) -> bytes:
+        return b"CQ|" + request_digest + b"|" + asker.encode() + b"|" + nonce.to_bytes(8, "big")
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER + DIGEST_SIZE + len(self.asker) + 8 + MAC_SIZE
+
+
+@dataclass(frozen=True)
+class CacheEntryReply:
+    """A remote Troxy's answer: the digest of its cached reply, if any."""
+
+    request_digest: bytes
+    reply_digest: Optional[bytes]  # None => not cached at the remote
+    responder: str
+    nonce: int
+    tag: bytes
+
+    @staticmethod
+    def auth_input(
+        request_digest: bytes, reply_digest: Optional[bytes], responder: str, nonce: int
+    ) -> bytes:
+        return (
+            b"CR|"
+            + request_digest
+            + b"|"
+            + (reply_digest if reply_digest is not None else b"<none>")
+            + b"|"
+            + responder.encode()
+            + b"|"
+            + nonce.to_bytes(8, "big")
+        )
+
+    @property
+    def wire_size(self) -> int:
+        size = _HEADER + DIGEST_SIZE + len(self.responder) + 8 + MAC_SIZE
+        if self.reply_digest is not None:
+            size += DIGEST_SIZE
+        return size

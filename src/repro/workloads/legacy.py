@@ -1,0 +1,168 @@
+"""Legacy clients: no BFT library, no voting, one connection.
+
+This is what Troxy buys: the client below is exactly what would talk to
+an unreplicated TLS service — one secure channel to one server, one
+request, one reply, reconnect-on-timeout. It never learns how many
+replicas exist, never verifies votes, and spends no extra CPU or
+bandwidth on replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps.base import Operation, Payload
+from ..crypto.keys import KeyRing
+from ..crypto.tls import (
+    HANDSHAKE_BYTES,
+    HANDSHAKE_CPU,
+    HANDSHAKE_FLIGHTS,
+    TlsError,
+    establish_session,
+)
+from ..hybster.client import ClientMachine, InvokeResult
+from ..hybster.messages import Reply, Request
+from ..hybster.secure import SecureEnvelope, open_body, seal_body
+
+
+@dataclass
+class LegacyClientStats:
+    invocations: int = 0
+    timeouts: int = 0
+    failovers: int = 0
+    invalid_replies: int = 0
+
+
+class LegacyClient:
+    """An unmodified client: speaks TLS + the app protocol to one server."""
+
+    def __init__(
+        self,
+        machine: ClientMachine,
+        client_id: str,
+        keyring: KeyRing,
+        hosts,
+        contact_index: int = 0,
+        request_timeout: float = 2.0,
+    ):
+        self.machine = machine
+        self.env = machine.env
+        self.net = machine.net
+        self.node = machine.node
+        self.client_id = client_id
+        self.keyring = keyring
+        self.hosts = list(hosts)
+        self.contact_index = contact_index % len(self.hosts)
+        self.request_timeout = request_timeout
+        self.stats = LegacyClientStats()
+        self._request_id = 0
+        self._endpoint = None
+        self._inbox = machine.register(client_id)
+
+    @property
+    def contact(self):
+        return self.hosts[self.contact_index]
+
+    # -- connection management (what a browser/location service would do) ------
+
+    def connect(self):
+        """Process generator: TLS handshake with the current contact.
+
+        Costs the handshake round-trips on the wire plus the asymmetric
+        crypto on the client's CPU; the session key lands inside the
+        contact's Troxy enclave.
+        """
+        host = self.contact
+        session = establish_session(
+            self.keyring.tls_master(f"troxy-{host.replica_id}"),
+            self.client_id,
+            host.replica_id,
+        )
+        flight = HANDSHAKE_BYTES // HANDSHAKE_FLIGHTS
+        for _ in range(HANDSHAKE_FLIGHTS // 2):
+            # one round trip: client flight out, server flight back
+            self.net.send(self.node.name, host.node.name, f"hs:{self.client_id}", size=flight)
+            yield self.env.timeout(0)  # let the send get scheduled
+        yield from self.node.compute(HANDSHAKE_CPU)
+        yield from host.install_client_session(self.client_id, session.server)
+        self._endpoint = session.client
+
+    def connect_instant(self) -> None:
+        """Test/benchmark setup helper: establish the session with no
+        simulated handshake traffic (pre-warmed connections)."""
+        host = self.contact
+        session = establish_session(
+            self.keyring.tls_master(f"troxy-{host.replica_id}"),
+            self.client_id,
+            host.replica_id,
+        )
+        install = host.install_client_session(self.client_id, session.server)
+        # Drive the (cost-charging) generator inline at setup time.
+        for _ in install:
+            pass
+        self._endpoint = session.client
+
+    def failover(self):
+        """Reconnect to the next server, as any legacy client would after
+        a connection timeout (Section III-D)."""
+        self.stats.failovers += 1
+        self.contact_index = (self.contact_index + 1) % len(self.hosts)
+        yield from self.connect()
+
+    # -- invocation -----------------------------------------------------------------
+
+    def invoke(self, op: Operation):
+        """Process generator: one request, one (trusted) reply."""
+        if self._endpoint is None:
+            raise RuntimeError("connect() first")
+        start = self.env.now
+        self.stats.invocations += 1
+        self._request_id += 1
+        request_id = self._request_id
+        retries = 0
+        while True:
+            request = Request(
+                client_id=self.client_id,
+                request_id=request_id,
+                op=op,
+                origin=self.node.name,
+            )
+            yield from self.node.compute(self.machine.profile.aead_cost(request.wire_size))
+            envelope = seal_body(self._endpoint, request)
+            self.net.send(
+                self.node.name, self.contact.node.name, envelope, stream=self.client_id
+            )
+            reply = yield from self._await_reply(request_id, self.request_timeout)
+            if reply is not None:
+                return InvokeResult(reply.result, self.env.now - start, retries=retries)
+            retries += 1
+            self.stats.timeouts += 1
+            yield from self.failover()
+
+    def _await_reply(self, request_id: int, timeout: float) -> Optional[Reply]:
+        deadline = self.env.now + timeout
+        while True:
+            remaining = deadline - self.env.now
+            if remaining <= 0:
+                return None
+            get_event = self._inbox.get()
+            yield self.env.any_of([get_event, self.env.timeout(remaining)])
+            if not get_event.triggered:
+                self._inbox.cancel(get_event)
+                return None
+            envelope = get_event.value
+            if not isinstance(envelope, SecureEnvelope):
+                continue
+            yield from self.node.compute(self.machine.profile.aead_cost(envelope.wire_size))
+            try:
+                reply = open_body(self._endpoint, envelope)
+            except TlsError:
+                # Corrupted channel (e.g. the untrusted replica part sent
+                # bytes not sealed by the Troxy): the legacy reaction is a
+                # reconnect, which the timeout path performs.
+                self.stats.invalid_replies += 1
+                continue
+            if not isinstance(reply, Reply) or reply.request_id != request_id:
+                continue
+            return reply

@@ -1,0 +1,136 @@
+"""Unit tests for the linearizability checker."""
+
+import pytest
+
+from repro.analysis.linearizability import (
+    OpRecord,
+    check_key_history,
+    check_linearizable,
+    find_violation,
+)
+
+
+def put(client, key, value, start, end):
+    return OpRecord(client, "put", key, value, start, end)
+
+
+def get(client, key, value, start, end):
+    return OpRecord(client, "get", key, value, start, end)
+
+
+def test_empty_history_linearizable():
+    assert check_linearizable([])
+
+
+def test_sequential_history():
+    history = [
+        put("a", "k", b"1", 0, 1),
+        get("a", "k", b"1", 2, 3),
+        put("a", "k", b"2", 4, 5),
+        get("a", "k", b"2", 6, 7),
+    ]
+    assert check_linearizable(history)
+
+
+def test_stale_read_rejected():
+    history = [
+        put("a", "k", b"1", 0, 1),
+        put("a", "k", b"2", 2, 3),
+        get("b", "k", b"1", 4, 5),  # reads the old value after put(2) ended
+    ]
+    assert not check_linearizable(history)
+    assert "not linearizable" in find_violation(history)
+
+
+def test_concurrent_ops_may_order_either_way():
+    history = [
+        put("a", "k", b"1", 0, 10),
+        get("b", "k", None, 2, 3),  # overlaps the put: may see initial None
+    ]
+    assert check_linearizable(history)
+    history2 = [
+        put("a", "k", b"1", 0, 10),
+        get("b", "k", b"1", 2, 3),  # or may see the new value
+    ]
+    assert check_linearizable(history2)
+
+
+def test_read_of_never_written_value_rejected():
+    history = [
+        put("a", "k", b"1", 0, 1),
+        get("b", "k", b"999", 2, 3),
+    ]
+    assert not check_linearizable(history)
+
+
+def test_initial_value_respected():
+    history = [get("a", "k", b"init", 0, 1)]
+    assert check_linearizable(history, initial={"k": b"init"})
+    assert not check_linearizable(history, initial={"k": b"other"})
+
+
+def test_real_time_order_enforced_between_clients():
+    # b's get finished before c's get started; both read, but values must
+    # be consistent with some single order of the overlapping puts.
+    history = [
+        put("a", "k", b"1", 0, 1),
+        put("a", "k", b"2", 2, 3),
+        get("b", "k", b"2", 4, 5),
+        get("c", "k", b"1", 6, 7),  # goes backwards in time: illegal
+    ]
+    assert not check_linearizable(history)
+
+
+def test_keys_checked_independently():
+    history = [
+        put("a", "x", b"1", 0, 1),
+        put("a", "y", b"9", 0, 1),
+        get("b", "x", b"1", 2, 3),
+        get("b", "y", b"9", 2, 3),
+    ]
+    assert check_linearizable(history)
+
+
+def test_interleaved_writers_with_consistent_reads():
+    history = [
+        put("a", "k", b"a1", 0.0, 2.0),
+        put("b", "k", b"b1", 1.0, 3.0),
+        get("c", "k", b"a1", 3.5, 4.0),  # a1 after b1 is a legal order
+        get("c", "k", b"a1", 4.5, 5.0),
+    ]
+    assert check_linearizable(history)
+
+
+def test_flip_flop_read_rejected():
+    history = [
+        put("a", "k", b"a1", 0.0, 2.0),
+        put("b", "k", b"b1", 1.0, 3.0),
+        get("c", "k", b"a1", 3.5, 4.0),
+        get("c", "k", b"b1", 4.5, 5.0),  # value flips back: no legal order
+        get("c", "k", b"a1", 5.5, 6.0),
+    ]
+    assert not check_linearizable(history)
+
+
+def test_bad_records_rejected():
+    with pytest.raises(ValueError):
+        OpRecord("a", "cas", "k", b"1", 0, 1)
+    with pytest.raises(ValueError):
+        OpRecord("a", "put", "k", b"1", 5, 1)
+
+
+def test_find_violation_none_for_good_history():
+    assert find_violation([put("a", "k", b"1", 0, 1)]) is None
+
+
+def test_moderate_history_performance():
+    # 24 sequential-ish operations should check instantly.
+    history = []
+    t = 0.0
+    value = None
+    for i in range(12):
+        value = str(i).encode()
+        history.append(put("w", "k", value, t, t + 0.5))
+        history.append(get("r", "k", value, t + 1.0, t + 1.5))
+        t += 2.0
+    assert check_key_history(history)

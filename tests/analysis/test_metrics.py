@@ -1,0 +1,55 @@
+"""Unit tests for metrics collection."""
+
+import pytest
+
+from repro.analysis.metrics import Collector, Summary, percentile
+
+
+def test_percentile_empty_and_single():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.99) == 7.0
+
+
+def test_percentile_interpolates():
+    values = [0.0, 10.0]
+    assert percentile(values, 0.5) == pytest.approx(5.0)
+    assert percentile(values, 0.0) == 0.0
+    assert percentile(values, 1.0) == 10.0
+
+
+def test_collector_window_filtering():
+    collector = Collector()
+    collector.record(completed_at=1.0, latency=0.010)
+    collector.record(completed_at=5.0, latency=0.020)
+    collector.record(completed_at=9.0, latency=0.030)
+    summary = collector.summarize(4.0, 10.0)
+    assert summary.count == 2
+    assert summary.throughput == pytest.approx(2 / 6.0)
+    assert summary.mean_latency == pytest.approx(0.025)
+
+
+def test_summary_conflict_rate():
+    collector = Collector()
+    collector.record(completed_at=1.0, latency=0.01, conflict=True)
+    collector.record(completed_at=1.1, latency=0.01, conflict=False)
+    summary = collector.summarize(0.0, 2.0)
+    assert summary.conflict_rate == pytest.approx(0.5)
+
+
+def test_summary_empty_window():
+    summary = Collector().summarize(0.0, 1.0)
+    assert summary.count == 0
+    assert summary.throughput == 0.0
+
+
+def test_summary_rejects_bad_window():
+    with pytest.raises(ValueError):
+        Collector().summarize(5.0, 5.0)
+
+
+def test_summary_str_formatting():
+    collector = Collector()
+    collector.record(completed_at=0.5, latency=0.002)
+    text = str(collector.summarize(0.0, 1.0))
+    assert "op/s" in text
+    assert "p95" in text

@@ -1,0 +1,61 @@
+"""Contract tests for the Application base interface."""
+
+import pytest
+
+from repro.apps.base import Application, Operation, OpKind, Payload
+
+
+class MinimalApp(Application):
+    def __init__(self):
+        self.state = {}
+
+    def execute(self, op):
+        if op.kind is OpKind.WRITE:
+            self.state[op.key] = op.body.content
+            return Payload(b"ok")
+        return Payload(self.state.get(op.key, b""))
+
+    def snapshot(self):
+        return repr(sorted(self.state.items())).encode()
+
+    def restore(self, snapshot):
+        self.state = dict(eval(snapshot.decode()))
+
+
+def test_execute_read_defaults_to_execute():
+    app = MinimalApp()
+    app.execute(Operation(OpKind.WRITE, "put", "k", Payload(b"v")))
+    assert app.execute_read(Operation(OpKind.READ, "get", "k")).content == b"v"
+
+
+def test_execute_read_rejects_writes():
+    with pytest.raises(ValueError):
+        MinimalApp().execute_read(Operation(OpKind.WRITE, "put", "k"))
+
+
+def test_keys_accessed_defaults_to_op_key():
+    assert MinimalApp().keys_accessed(Operation(OpKind.READ, "get", "xyz")) == ("xyz",)
+
+
+def test_execution_cost_scales_with_body():
+    app = MinimalApp()
+    small = app.execution_cost(Operation(OpKind.WRITE, "put", "k", Payload(b"x")))
+    big = app.execution_cost(
+        Operation(OpKind.WRITE, "put", "k", Payload(b"x", padded_size=1 << 20))
+    )
+    assert big > small > 0
+
+
+def test_base_class_methods_are_abstract():
+    base = Application()
+    with pytest.raises(NotImplementedError):
+        base.execute(Operation(OpKind.READ, "get", "k"))
+    with pytest.raises(NotImplementedError):
+        base.snapshot()
+    with pytest.raises(NotImplementedError):
+        base.restore(b"")
+
+
+def test_operation_size_accounts_for_parts():
+    op = Operation(OpKind.WRITE, "put", "key", Payload(b"12345"))
+    assert op.size >= len("put") + len("key") + 5

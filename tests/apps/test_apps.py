@@ -1,0 +1,185 @@
+"""Unit tests for the replicated applications."""
+
+import pytest
+
+from repro.apps.base import Operation, OpKind, Payload
+from repro.apps.echo import EchoService
+from repro.apps.httpd import (
+    HttpPageService,
+    get_operation,
+    parse_response,
+    post_operation,
+    seed_pages,
+)
+from repro.apps.kvstore import KvStore, delete, get, put
+
+
+# -- Payload / Operation -------------------------------------------------------
+
+
+def test_payload_size_uses_padding():
+    assert Payload(b"abc", padded_size=100).size == 100
+    assert Payload(b"abc").size == 3
+
+
+def test_payload_padding_must_cover_content():
+    with pytest.raises(ValueError):
+        Payload(b"abcdef", padded_size=2)
+
+
+def test_payload_digest_covers_size():
+    assert Payload(b"x", padded_size=10).digest() != Payload(b"x", padded_size=20).digest()
+
+
+def test_operation_digest_distinguishes_kind():
+    a = Operation(OpKind.READ, "get", "k")
+    b = Operation(OpKind.WRITE, "get", "k")
+    assert a.digest() != b.digest()
+    assert a.is_read and not b.is_read
+
+
+# -- EchoService ------------------------------------------------------------------
+
+
+def test_echo_write_bumps_version():
+    app = EchoService(reply_size=64)
+    write = Operation(OpKind.WRITE, "set", "k")
+    read = Operation(OpKind.READ, "get", "k")
+    v0 = app.execute(read)
+    app.execute(write)
+    v1 = app.execute(read)
+    assert v0.content != v1.content
+    assert v1.size == 64
+
+
+def test_echo_write_reply_is_small():
+    app = EchoService(reply_size=8192)
+    reply = app.execute(Operation(OpKind.WRITE, "set", "k"))
+    assert reply.size == 10  # the paper's fixed 10 B write ack
+
+
+def test_echo_snapshot_roundtrip():
+    app = EchoService()
+    for key in ("a", "b", "a"):
+        app.execute(Operation(OpKind.WRITE, "set", key))
+    clone = EchoService()
+    clone.restore(app.snapshot())
+    assert clone.snapshot() == app.snapshot()
+
+
+def test_echo_rejects_bad_reply_size():
+    with pytest.raises(ValueError):
+        EchoService(reply_size=0)
+
+
+# -- KvStore ------------------------------------------------------------------------
+
+
+def test_kv_put_get_delete():
+    app = KvStore()
+    assert app.execute(put("k", b"v")).content == b"stored"
+    assert app.execute(get("k")).content == b"v"
+    assert app.execute(delete("k")).content == b"deleted"
+    assert app.execute(get("k")).content == b"\x00missing"
+    assert app.execute(delete("k")).content == b"absent"
+
+
+def test_kv_snapshot_roundtrip():
+    app = KvStore()
+    app.execute(put("a", b"1"))
+    app.execute(put("b", b"binary\x00\x01\x02"))
+    clone = KvStore()
+    clone.restore(app.snapshot())
+    assert clone.execute(get("b")).content == b"binary\x00\x01\x02"
+
+
+def test_kv_reads_do_not_mutate():
+    app = KvStore()
+    app.execute(put("a", b"1"))
+    before = app.snapshot()
+    app.execute_read(get("a"))
+    assert app.snapshot() == before
+
+
+def test_kv_execute_read_rejects_writes():
+    with pytest.raises(ValueError):
+        KvStore().execute_read(put("a", b"1"))
+
+
+def test_kv_unknown_operation():
+    with pytest.raises(ValueError):
+        KvStore().execute(Operation(OpKind.WRITE, "increment", "k"))
+
+
+# -- HttpPageService -----------------------------------------------------------------
+
+
+def test_http_get_existing_page():
+    app = HttpPageService()
+    result = app.execute(get_operation("/page/0"))
+    response = parse_response(result.content)
+    assert response.status == 200
+    assert len(response.body) == 4096  # first seeded page size
+
+
+def test_http_get_missing_page_404():
+    app = HttpPageService()
+    response = parse_response(app.execute(get_operation("/nope")).content)
+    assert response.status == 404
+
+
+def test_http_post_modifies_page_and_returns_it():
+    app = HttpPageService()
+    posted = b"fresh-content-" * 10
+    response = parse_response(app.execute(post_operation("/page/0", posted)).content)
+    assert response.status == 200
+    assert response.body.startswith(b"fresh-content-")
+    assert len(response.body) == 4096  # page size stays stable
+    follow_up = parse_response(app.execute(get_operation("/page/0")).content)
+    assert follow_up.body == response.body
+
+
+def test_http_post_to_new_path_creates_page():
+    app = HttpPageService(pages={})
+    response = parse_response(app.execute(post_operation("/new", b"hello")).content)
+    assert response.body == b"hello"
+
+
+def test_http_unknown_method_405():
+    from repro.apps.httpd import HttpRequest, http_operation
+
+    app = HttpPageService()
+    response = parse_response(
+        app.execute(http_operation(HttpRequest("PUT", "/page/0"))).content
+    )
+    assert response.status == 405
+
+
+def test_http_deterministic_across_replicas():
+    a, b = HttpPageService(), HttpPageService()
+    ops = [post_operation("/page/1", b"x" * 50), get_operation("/page/1")]
+    for op in ops:
+        ra, rb = a.execute(op), b.execute(op)
+        assert ra.content == rb.content
+    assert a.snapshot() == b.snapshot()
+
+
+def test_http_snapshot_roundtrip():
+    app = HttpPageService()
+    app.execute(post_operation("/page/3", b"mutation"))
+    clone = HttpPageService(pages={})
+    clone.restore(app.snapshot())
+    assert clone.snapshot() == app.snapshot()
+
+
+def test_seed_pages_sizes():
+    pages = seed_pages(count=16)
+    sizes = {len(content) for content in pages.values()}
+    assert min(sizes) == 4096
+    assert max(sizes) == 18432
+
+
+def test_http_operation_read_write_kinds():
+    assert get_operation("/p").is_read
+    assert not post_operation("/p", b"x").is_read
+    assert get_operation("/p").key == "/p"

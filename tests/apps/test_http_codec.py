@@ -1,0 +1,99 @@
+"""Unit tests for the HTTP codec."""
+
+import pytest
+
+from repro.apps.httpd import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    frame_length,
+    parse_request,
+    parse_response,
+)
+
+
+def test_request_roundtrip():
+    request = HttpRequest("GET", "/page/1", (("Host", "example.org"),))
+    parsed = parse_request(request.encode())
+    assert parsed.method == "GET"
+    assert parsed.path == "/page/1"
+    assert parsed.header("host") == "example.org"
+    assert parsed.body == b""
+
+
+def test_request_with_body_roundtrip():
+    request = HttpRequest("POST", "/page/2", (), b"payload-data")
+    encoded = request.encode()
+    assert b"Content-Length: 12" in encoded
+    parsed = parse_request(encoded)
+    assert parsed.method == "POST"
+    assert parsed.body == b"payload-data"
+
+
+def test_response_roundtrip():
+    response = HttpResponse(200, body=b"<html>hi</html>")
+    parsed = parse_response(response.encode())
+    assert parsed.status == 200
+    assert parsed.reason == "OK"
+    assert parsed.body == b"<html>hi</html>"
+
+
+def test_response_404_reason_default():
+    parsed = parse_response(HttpResponse(404, body=b"x").encode())
+    assert parsed.reason == "Not Found"
+
+
+def test_frame_length_finds_boundary():
+    request = HttpRequest("POST", "/x", (), b"12345").encode()
+    assert frame_length(request) == len(request)
+    assert frame_length(request + b"EXTRA") == len(request)
+
+
+def test_frame_length_incomplete_headers():
+    assert frame_length(b"GET / HTTP/1.1\r\nHost: x") is None
+
+
+def test_frame_length_incomplete_body():
+    request = HttpRequest("POST", "/x", (), b"0123456789").encode()
+    assert frame_length(request[:-3]) is None
+
+
+def test_two_pipelined_messages():
+    first = HttpRequest("POST", "/a", (), b"one").encode()
+    second = HttpRequest("GET", "/b").encode()
+    data = first + second
+    cut = frame_length(data)
+    assert cut == len(first)
+    assert parse_request(data[:cut]).path == "/a"
+    assert parse_request(data[cut:]).path == "/b"
+
+
+def test_malformed_request_line():
+    with pytest.raises(HttpError):
+        parse_request(b"NONSENSE\r\n\r\n")
+
+
+def test_malformed_header_rejected():
+    with pytest.raises(HttpError):
+        parse_request(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n")
+
+
+def test_bad_content_length_rejected():
+    with pytest.raises(HttpError):
+        frame_length(b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n")
+
+
+def test_incomplete_raises():
+    with pytest.raises(HttpError):
+        parse_request(b"GET / HT")
+
+
+def test_bad_status_code():
+    with pytest.raises(HttpError):
+        parse_response(b"HTTP/1.1 abc OK\r\n\r\n")
+
+
+def test_header_lookup_case_insensitive():
+    response = HttpResponse(200, headers=(("X-Thing", "v"),))
+    assert response.header("x-thing") == "v"
+    assert response.header("missing") is None

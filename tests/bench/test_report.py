@@ -1,0 +1,53 @@
+"""Unit tests for result formatting."""
+
+import pytest
+
+from repro.analysis.metrics import Summary
+from repro.bench.experiments import Point
+from repro.bench.report import format_latency_series, format_throughput_series, ratio
+
+
+def summary(throughput=100.0, latency=0.01):
+    return Summary(
+        count=100, duration=1.0, throughput=throughput,
+        mean_latency=latency, p50=latency, p95=latency, p99=latency,
+        conflict_rate=0.0,
+    )
+
+
+def points():
+    return [
+        Point("figX", "bl", 256, summary(200.0)),
+        Point("figX", "etroxy", 256, summary(100.0)),
+        Point("figX", "bl", 1024, summary(150.0)),
+        Point("figX", "etroxy", 1024, summary(150.0)),
+    ]
+
+
+def test_throughput_table_contains_all_cells():
+    table = format_throughput_series("Title", points())
+    assert "Title" in table
+    assert "bl" in table and "etroxy" in table
+    assert "256" in table and "1024" in table
+    assert table.count("op/s") == 4
+
+
+def test_latency_table_formats_ms():
+    table = format_latency_series("Lat", [Point("f", "bl", "wan", summary(latency=0.250))])
+    assert "250.00 ms" in table
+
+
+def test_ratio_lookup():
+    assert ratio(points(), "etroxy", "bl", 256) == pytest.approx(0.5)
+    assert ratio(points(), "etroxy", "bl", 1024) == pytest.approx(1.0)
+
+
+def test_ratio_zero_denominator():
+    bad = [Point("f", "bl", 1, summary(0.0)), Point("f", "et", 1, summary(1.0))]
+    with pytest.raises(ZeroDivisionError):
+        ratio(bad, "et", "bl", 1)
+
+
+def test_ratio_missing_point():
+    with pytest.raises(StopIteration):
+        ratio(points(), "etroxy", "bl", 9999)

@@ -1,0 +1,44 @@
+"""Unit tests for the workload sources used by the experiments."""
+
+import random
+
+import pytest
+
+from repro.apps.base import OpKind
+from repro.bench.experiments import mixed_source, read_source, write_source
+
+
+def test_write_source_shape():
+    source = write_source(4096, key_space=8)
+    op = source(3, 17)
+    assert op.kind is OpKind.WRITE
+    assert op.body.size == 4096
+    assert op.key.startswith("k")
+    assert int(op.key[1:]) < 8
+
+
+def test_write_source_rotates_keys():
+    source = write_source(256, key_space=4)
+    keys = {source(i, s).key for i in range(4) for s in range(4)}
+    assert keys == {"k0", "k1", "k2", "k3"}
+
+
+def test_read_source_shape():
+    source = read_source(request_size=10, key_space=16)
+    op = source(0, 0)
+    assert op.kind is OpKind.READ
+    assert op.body.size == 10
+
+
+def test_mixed_source_ratio():
+    rng = random.Random(5)
+    source = mixed_source(0.25, rng, key_space=4)
+    kinds = [source(i, s).kind for i in range(10) for s in range(100)]
+    writes = sum(1 for k in kinds if k is OpKind.WRITE)
+    assert 0.18 < writes / len(kinds) < 0.32
+
+
+def test_mixed_source_zero_ratio_is_read_only():
+    rng = random.Random(5)
+    source = mixed_source(0.0, rng)
+    assert all(source(i, s).kind is OpKind.READ for i in range(3) for s in range(20))

@@ -1,0 +1,68 @@
+"""Unit tests for cost profiles and the key ring."""
+
+import pytest
+
+from repro.crypto import CPP, CPP_SGX, JAVA, KeyRing, OpCost, profile
+
+
+def test_opcost_linear():
+    op = OpCost(base=1e-6, per_byte=1e-9)
+    assert op.cost(0) == pytest.approx(1e-6)
+    assert op.cost(1000) == pytest.approx(2e-6)
+
+
+def test_opcost_rejects_negative_size():
+    with pytest.raises(ValueError):
+        OpCost(base=1e-6, per_byte=1e-9).cost(-1)
+
+
+def test_java_slower_than_cpp_for_large_macs():
+    """The Fig. 6 crossover exists only if this holds."""
+    for size in (1024, 4096, 8192):
+        assert JAVA.mac_cost(size) > 2 * CPP.mac_cost(size)
+
+
+def test_base_costs_dominate_small_messages():
+    assert JAVA.mac_cost(10) < 3 * JAVA.mac_cost(0)
+
+
+def test_sgx_profile_matches_cpp_instruction_stream():
+    # SGX costs are charged by the enclave model, not the crypto profile.
+    assert CPP_SGX.mac_cost(4096) == CPP.mac_cost(4096)
+    assert CPP_SGX.aead_cost(100) == CPP.aead_cost(100)
+
+
+def test_profile_lookup():
+    assert profile("java") is JAVA
+    assert profile("cpp") is CPP
+    with pytest.raises(KeyError):
+        profile("rust")
+
+
+def test_keyring_pairwise_symmetric():
+    ring = KeyRing(b"master-secret-00")
+    assert ring.pairwise("r0", "r1") == ring.pairwise("r1", "r0")
+    assert ring.pairwise("r0", "r1") != ring.pairwise("r0", "r2")
+
+
+def test_keyring_troxy_group_shared():
+    ring = KeyRing(b"master-secret-00")
+    assert ring.troxy_group() == ring.troxy_group()
+    assert ring.troxy_instance("t0") != ring.troxy_instance("t1")
+    assert ring.troxy_instance("t0") != ring.troxy_group()
+
+
+def test_keyring_rejects_weak_master():
+    with pytest.raises(ValueError):
+        KeyRing(b"short")
+
+
+def test_keyring_tls_master_per_principal():
+    ring = KeyRing(b"master-secret-00")
+    assert ring.tls_master("replica-0") != ring.tls_master("replica-1")
+
+
+def test_different_masters_give_different_keys():
+    a = KeyRing(b"master-secret-00")
+    b = KeyRing(b"master-secret-01")
+    assert a.pairwise("r0", "r1") != b.pairwise("r0", "r1")

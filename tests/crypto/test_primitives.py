@@ -1,0 +1,50 @@
+"""Unit tests for crypto primitives."""
+
+import pytest
+
+from repro.crypto import MacKey, derive_key, digest_of, sha256
+
+
+def test_sha256_known_vector():
+    assert sha256(b"").hex() == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+def test_digest_of_is_unambiguous():
+    # Without length prefixes these two would collide.
+    assert digest_of(b"ab", b"c") != digest_of(b"a", b"bc")
+
+
+def test_digest_of_deterministic():
+    assert digest_of(b"x", b"y") == digest_of(b"x", b"y")
+
+
+def test_mac_sign_verify_roundtrip():
+    key = MacKey("k1", b"secret-material!")
+    tag = key.sign(b"message")
+    assert key.verify(b"message", tag)
+
+
+def test_mac_detects_tamper():
+    key = MacKey("k1", b"secret-material!")
+    tag = key.sign(b"message")
+    assert not key.verify(b"messagX", tag)
+    assert not key.verify(b"message", b"\x00" * len(tag))
+
+
+def test_mac_keys_are_independent():
+    k1 = MacKey("k1", derive_key(b"master-secret-00", "a"))
+    k2 = MacKey("k2", derive_key(b"master-secret-00", "b"))
+    tag = k1.sign(b"m")
+    assert not k2.verify(b"m", tag)
+
+
+def test_derive_key_path_sensitivity():
+    master = b"master-secret-00"
+    assert derive_key(master, "a", "b") != derive_key(master, "b", "a")
+    assert derive_key(master, "a", "b") == derive_key(master, "a", "b")
+
+
+def test_derive_key_depends_on_master():
+    assert derive_key(b"master-secret-00", "a") != derive_key(b"master-secret-01", "a")

@@ -1,0 +1,93 @@
+"""Unit tests for the simulated TLS layer (integrity + replay)."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto import TLS_RECORD_OVERHEAD, TlsError, establish_session
+
+
+def make_session():
+    return establish_session(b"master-secret-00", "client-0", "replica-0")
+
+
+def test_seal_open_roundtrip():
+    session = make_session()
+    record = session.client.seal(b"GET / HTTP/1.1")
+    assert session.server.open(record) == b"GET / HTTP/1.1"
+
+
+def test_bidirectional_traffic():
+    session = make_session()
+    assert session.server.open(session.client.seal(b"req")) == b"req"
+    assert session.client.open(session.server.seal(b"resp")) == b"resp"
+
+
+def test_sequences_are_per_direction():
+    session = make_session()
+    for i in range(5):
+        payload = f"m{i}".encode()
+        assert session.server.open(session.client.seal(payload)) == payload
+
+
+def test_replay_rejected():
+    session = make_session()
+    record = session.client.seal(b"pay $5")
+    assert session.server.open(record) == b"pay $5"
+    with pytest.raises(TlsError, match="replay or gap"):
+        session.server.open(record)
+
+
+def test_reorder_gap_rejected():
+    session = make_session()
+    first = session.client.seal(b"one")
+    second = session.client.seal(b"two")
+    with pytest.raises(TlsError):
+        session.server.open(second)
+    # The skipped record is still acceptable at its slot.
+    assert session.server.open(first) == b"one"
+
+
+def test_tampered_payload_rejected():
+    session = make_session()
+    record = session.client.seal(b"amount=10")
+    forged = dataclasses.replace(record, ciphertext=b"amount=99")
+    with pytest.raises(TlsError, match="integrity"):
+        session.server.open(forged)
+
+
+def test_tampered_tag_rejected():
+    session = make_session()
+    record = session.client.seal(b"hello")
+    forged = dataclasses.replace(record, tag=bytes(len(record.tag)))
+    with pytest.raises(TlsError, match="integrity"):
+        session.server.open(forged)
+
+
+def test_cross_session_record_rejected():
+    session_a = make_session()
+    session_b = make_session()
+    record = session_a.client.seal(b"hello")
+    with pytest.raises(TlsError):
+        session_b.server.open(record)
+
+
+def test_untrusted_host_cannot_forge_without_key():
+    """The attack from Section VI-B ("Bypassing Troxy"): a malicious
+    replica without the session key cannot produce an acceptable record."""
+    session = make_session()
+    evil = establish_session(b"attacker-secret!", "client-0", "replica-0")
+    record = evil.server.seal(b"fake reply")
+    fixed_session = dataclasses.replace(record, session_id=session.session_id)
+    with pytest.raises(TlsError, match="integrity"):
+        session.client.open(fixed_session)
+
+
+def test_wire_size_includes_overhead():
+    session = make_session()
+    record = session.client.seal(b"x" * 100)
+    assert record.wire_size == 100 + TLS_RECORD_OVERHEAD
+
+
+def test_session_ids_unique():
+    assert make_session().session_id != make_session().session_id

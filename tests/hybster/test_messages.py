@@ -1,0 +1,96 @@
+"""Unit tests for protocol message types."""
+
+import pytest
+
+from repro.apps.base import Operation, OpKind, Payload
+from repro.crypto import KeyRing, sha256
+from repro.hybster.messages import (
+    Commit,
+    Forward,
+    Order,
+    Reply,
+    Request,
+    Tagged,
+)
+from repro.sgx.counters import TrustedCounterSubsystem
+
+
+def make_request(client="client-1", rid=1, key="k", unordered=False):
+    op = Operation(OpKind.WRITE, "set", key, Payload(b"value"))
+    return Request(client, rid, op, origin="replica-0", unordered=unordered)
+
+
+def make_cert(digest):
+    ring = KeyRing(b"master-secret-00")
+    tss = TrustedCounterSubsystem("tss-0", ring.troxy_group())
+    tss.create("c")
+    return tss.certify_next("c", digest)
+
+
+def test_request_digest_stable_and_distinct():
+    assert make_request().digest() == make_request().digest()
+    assert make_request(rid=1).digest() != make_request(rid=2).digest()
+    assert make_request().digest() != make_request(unordered=True).digest()
+
+
+def test_request_wire_size_includes_operation():
+    small = make_request()
+    op = Operation(OpKind.WRITE, "set", "k", Payload(b"v", padded_size=4096))
+    big = Request("client-1", 1, op, origin="replica-0")
+    assert big.wire_size - small.wire_size >= 4000
+
+
+def test_reply_matches_semantics():
+    request = make_request()
+    a = Reply("replica-0", "client-1", 1, Payload(b"r"), request.digest())
+    b = Reply("replica-1", "client-1", 1, Payload(b"r"), request.digest())
+    c = Reply("replica-2", "client-1", 1, Payload(b"DIFFERENT"), request.digest())
+    assert a.matches(b)
+    assert not a.matches(c)
+
+
+def test_reply_wire_size_counts_troxy_tag():
+    request = make_request()
+    bare = Reply("replica-0", "client-1", 1, Payload(b"r"), request.digest())
+    tagged = Reply(
+        "replica-0", "client-1", 1, Payload(b"r"), request.digest(),
+        troxy_tag=b"\x00" * 32,
+    )
+    assert tagged.wire_size == bare.wire_size + 32
+
+
+def test_order_content_digest_binds_view_seq_request():
+    d = sha256(b"req")
+    base = Order.content_digest(0, 1, d)
+    assert base != Order.content_digest(1, 1, d)
+    assert base != Order.content_digest(0, 2, d)
+    assert base != Order.content_digest(0, 1, sha256(b"other"))
+
+
+def test_commit_content_digest_binds_sender():
+    d = sha256(b"req")
+    assert Commit.content_digest(0, 1, d, "replica-1") != Commit.content_digest(
+        0, 1, d, "replica-2"
+    )
+
+
+def test_order_wire_size_dominated_by_request():
+    request = make_request()
+    cert = make_cert(sha256(b"x"))
+    order = Order(0, 1, request, cert, "replica-0")
+    assert order.wire_size > request.wire_size
+
+
+def test_forward_and_tagged_sizes():
+    request = make_request()
+    forward = Forward(request, "replica-1")
+    tagged = Tagged(forward, "replica-1", b"\x00" * 32)
+    assert forward.wire_size > request.wire_size
+    assert tagged.wire_size == forward.wire_size + 32
+
+
+def test_forward_auth_bytes_cover_sender():
+    request = make_request()
+    assert Forward(request, "replica-1").auth_bytes() != Forward(
+        request, "replica-2"
+    ).auth_bytes()

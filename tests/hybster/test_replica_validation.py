@@ -1,0 +1,125 @@
+"""Adversarial message validation at the replica level.
+
+Crafts protocol messages directly (valid and forged counter
+certificates) and checks the replica's acceptance rules.
+"""
+
+import pytest
+
+from repro.apps.base import Operation, OpKind, Payload
+from repro.apps.kvstore import KvStore
+from repro.bench.clusters import build_baseline
+from repro.crypto import KeyRing
+from repro.hybster.messages import Commit, Order, Request
+from repro.sgx.counters import TrustedCounterSubsystem
+
+
+@pytest.fixture
+def cluster():
+    return build_baseline(seed=71, app_factory=KvStore)
+
+
+def make_request(rid=1):
+    op = Operation(OpKind.WRITE, "put", "k", Payload(b"v"))
+    return Request("client-x", rid, op, origin="client-machine-0")
+
+
+def run(cluster, until=2.0):
+    cluster.env.run(until=cluster.env.now + until)
+
+
+def leader_order(cluster, seq, request, view=0, sender=None):
+    """A genuinely certified ORDER from the real leader's subsystem."""
+    leader = cluster.replicas[0]
+    content = Order.content_digest(view, seq, request.digest())
+    cert = leader.counters.certify_at(f"order/{view}", seq, content)
+    return Order(view, seq, request, cert, sender or leader.replica_id)
+
+
+def test_follower_accepts_valid_order_and_commits(cluster):
+    follower = cluster.replicas[1]
+    order = leader_order(cluster, 1, make_request())
+    follower.dispatch(order)
+    run(cluster)
+    assert follower.stats.commits_sent == 1
+    assert follower.log[1].order is order
+
+
+def test_order_from_non_leader_rejected(cluster):
+    follower = cluster.replicas[1]
+    # replica-2 certifies with its own (genuine) subsystem but is not the
+    # leader of view 0.
+    impostor = cluster.replicas[2]
+    impostor._ensure_counter("order/0")
+    request = make_request()
+    content = Order.content_digest(0, 1, request.digest())
+    cert = impostor.counters.certify_at("order/0", 1, content)
+    order = Order(0, 1, request, cert, "replica-2")
+    follower.dispatch(order)
+    run(cluster)
+    assert follower.stats.invalid_messages == 1
+    assert follower.stats.commits_sent == 0
+
+
+def test_order_with_mismatched_counter_value_rejected(cluster):
+    follower = cluster.replicas[1]
+    leader = cluster.replicas[0]
+    request = make_request()
+    content = Order.content_digest(0, 1, request.digest())
+    cert = leader.counters.certify_at("order/0", 7, content)  # value != seq
+    order = Order(0, 1, request, cert, leader.replica_id)
+    follower.dispatch(order)
+    run(cluster)
+    assert follower.stats.invalid_messages == 1
+
+
+def test_order_with_foreign_group_key_rejected(cluster):
+    follower = cluster.replicas[1]
+    outsider = TrustedCounterSubsystem(
+        "evil", KeyRing(b"not-the-real-master").troxy_group()
+    )
+    outsider.create("order/0")
+    request = make_request()
+    content = Order.content_digest(0, 1, request.digest())
+    cert = outsider.certify_at("order/0", 1, content)
+    order = Order(0, 1, request, cert, "replica-0")
+    follower.dispatch(order)
+    run(cluster)
+    assert follower.stats.invalid_messages == 1
+
+
+def test_commit_with_wrong_digest_rejected(cluster):
+    leader = cluster.replicas[0]
+    replica2 = cluster.replicas[2]
+    request = make_request()
+    # Legitimate order first, committed at the leader.
+    order = leader_order(cluster, 1, request)
+    # replica-2 certifies a commit whose content digest does not match
+    # the claimed fields.
+    replica2._ensure_counter("commit/0")
+    bogus_content = Commit.content_digest(0, 1, b"\x00" * 32, "replica-2")
+    cert = replica2.counters.certify_at("commit/0", 1, bogus_content)
+    commit = Commit(0, 1, request.digest(), cert, "replica-2")
+    leader.dispatch(commit)
+    run(cluster)
+    assert leader.stats.invalid_messages == 1
+
+
+def test_out_of_order_orders_are_buffered_until_gap_fills(cluster):
+    follower = cluster.replicas[1]
+    first = leader_order(cluster, 1, make_request(1))
+    second = leader_order(cluster, 2, make_request(2))
+    follower.dispatch(second)  # arrives first
+    run(cluster)
+    assert follower.stats.commits_sent == 0  # waiting for seq 1
+    follower.dispatch(first)
+    run(cluster)
+    assert follower.stats.commits_sent == 2  # both committed, in order
+    assert follower.counters.current("commit/0") == 2
+
+
+def test_unknown_payload_counted_invalid(cluster):
+    replica = cluster.replicas[1]
+    replica.dispatch(object())
+    run(cluster)
+    assert replica.stats.invalid_messages == 1

@@ -1,0 +1,28 @@
+"""The shipped examples must keep running (they are documentation)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+@pytest.mark.parametrize("example", ["quickstart", "migration", "read_heavy_cache"])
+def test_example_runs_to_completion(example, capsys):
+    runpy.run_path(f"examples/{example}.py", run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{example} produced no output"
+
+
+def test_quickstart_narrative(capsys):
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    output = capsys.readouterr().out
+    assert "fast read" in output
+    assert "garbage" not in output.split("->")[0]  # the client never saw it
+    assert "Byzantine replica" in output
+
+
+def test_migration_shows_all_three_steps(capsys):
+    runpy.run_path("examples/migration.py", run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.count("GET  /page/3: 200") == 3
+    assert "client: zero changes" in output

@@ -1,0 +1,75 @@
+"""Property-based tests for the fast-read cache invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import Payload
+from repro.hybster.messages import Reply
+from repro.troxy.cache import FastReadCache
+
+
+def make_reply(tag: int) -> Reply:
+    return Reply(
+        replica_id="replica-0",
+        client_id="client",
+        request_id=tag,
+        result=Payload(str(tag).encode()),
+        request_digest=tag.to_bytes(32, "big"),
+    )
+
+
+# An operation stream: install(digest_id, key_id) or invalidate(key_id).
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("install"), st.integers(0, 30), st.integers(0, 8)),
+        st.tuples(st.just("invalidate"), st.integers(0, 8), st.just(0)),
+    ),
+    max_size=80,
+)
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_no_entry_survives_invalidation_of_its_key(op_stream):
+    """Core linearizability ingredient: once a key is invalidated, every
+    entry depending on it is gone until a fresh install."""
+    cache = FastReadCache(max_entries=1000)
+    live: dict[bytes, int] = {}  # digest -> key id
+    for op, a, b in op_stream:
+        if op == "install":
+            digest = a.to_bytes(32, "big")
+            cache.install(digest, make_reply(a), keys=(f"k{b}",))
+            live[digest] = b
+        else:
+            cache.invalidate_keys((f"k{a}",))
+            live = {d: k for d, k in live.items() if k != a}
+        # The model and the cache agree exactly.
+        for digest, key_id in live.items():
+            assert cache.peek(digest) is not None
+        assert len(cache) == len(live)
+
+
+@given(ops, st.integers(min_value=1, max_value=10))
+@settings(max_examples=50, deadline=None)
+def test_capacity_never_exceeded(op_stream, capacity):
+    cache = FastReadCache(max_entries=capacity)
+    for op, a, b in op_stream:
+        if op == "install":
+            cache.install(a.to_bytes(32, "big"), make_reply(a), keys=(f"k{b}",))
+        else:
+            cache.invalidate_keys((f"k{a}",))
+        assert len(cache) <= capacity
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None)
+def test_clear_always_empties(op_stream):
+    cache = FastReadCache()
+    for op, a, b in op_stream:
+        if op == "install":
+            cache.install(a.to_bytes(32, "big"), make_reply(a), keys=(f"k{b}",))
+    cache.clear()
+    assert len(cache) == 0
+    for op, a, b in op_stream:
+        if op == "install":
+            assert cache.peek(a.to_bytes(32, "big")) is None

@@ -1,0 +1,76 @@
+"""Property-based tests for trusted counters and sealed storage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import KeyRing, sha256
+from repro.sgx import CounterError, SealedStorage, TrustedCounterSubsystem
+
+
+def make_tss(storage=None):
+    ring = KeyRing(b"master-secret-00")
+    return TrustedCounterSubsystem("tss", ring.troxy_group(), storage=storage)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1_000_000), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_counter_accepts_exactly_increasing_subsequence(values):
+    tss = make_tss()
+    tss.create("c")
+    highest = 0
+    for value in values:
+        digest = sha256(value.to_bytes(8, "big"))
+        if value > highest:
+            cert = tss.certify_at("c", value, digest)
+            assert cert.value == value
+            assert tss.verify(cert)
+            highest = value
+        else:
+            with pytest.raises(CounterError):
+                tss.certify_at("c", value, digest)
+        assert tss.current("c") == highest
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=2, max_size=20, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_no_two_digests_ever_share_a_value(digests):
+    tss = make_tss()
+    tss.create("c")
+    seen_values = set()
+    for digest in digests:
+        cert = tss.certify_next("c", sha256(digest))
+        assert cert.value not in seen_values
+        seen_values.add(cert.value)
+
+
+@given(
+    st.lists(
+        st.tuples(st.text(min_size=1, max_size=8), st.binary(max_size=64)),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_sealed_storage_returns_last_write(items):
+    storage = SealedStorage(b"platform", sha256(b"code"))
+    expected = {}
+    for name, data in items:
+        storage.seal(name, data)
+        expected[name] = data
+    for name, data in expected.items():
+        assert storage.unseal(name) == data
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=6), st.integers(0, 2**40), max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_counters_roundtrip_through_sealed_storage(counters):
+    storage = SealedStorage(b"platform", sha256(b"code"))
+    tss = make_tss(storage)
+    for name, value in counters.items():
+        tss.create(name)
+        if value > 0:
+            tss.certify_at(name, value, sha256(name.encode()))
+    revived = make_tss(storage)
+    for name, value in counters.items():
+        assert revived.current(name) == value

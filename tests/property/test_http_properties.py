@@ -1,0 +1,80 @@
+"""Property-based tests for the HTTP codec and page service."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.httpd import (
+    HttpPageService,
+    HttpRequest,
+    HttpResponse,
+    frame_length,
+    get_operation,
+    parse_request,
+    parse_response,
+    post_operation,
+)
+
+# HTTP header fields are latin-1 on the wire; exercise the ASCII subset.
+ASCII = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+token = st.text(alphabet=ASCII + "-_", min_size=1, max_size=16)
+paths = st.text(alphabet=ASCII + "/-_.", min_size=1, max_size=32).map(lambda p: "/" + p)
+bodies = st.binary(max_size=2048)
+header_lists = st.lists(st.tuples(token, token), max_size=5).map(tuple)
+
+
+@given(st.sampled_from(["GET", "POST", "PUT", "DELETE"]), paths, header_lists, bodies)
+@settings(max_examples=100, deadline=None)
+def test_request_roundtrip(method, path, headers, body):
+    request = HttpRequest(method, path, headers, body)
+    parsed = parse_request(request.encode())
+    assert parsed.method == method
+    assert parsed.path == path
+    assert parsed.body == body
+    # Order and duplicates are preserved; encode() may append a
+    # Content-Length header after the caller's own.
+    assert parsed.headers[: len(headers)] == headers
+
+
+@given(st.integers(100, 599), header_lists, bodies)
+@settings(max_examples=100, deadline=None)
+def test_response_roundtrip(status, headers, body):
+    response = HttpResponse(status, "Custom Reason", headers, body)
+    parsed = parse_response(response.encode())
+    assert parsed.status == status
+    assert parsed.body == body
+
+
+@given(st.lists(st.tuples(paths, bodies), min_size=1, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_pipelined_framing_recovers_every_message(messages):
+    stream = b"".join(HttpRequest("POST", p, (), b).encode() for p, b in messages)
+    recovered = []
+    while stream:
+        cut = frame_length(stream)
+        assert cut is not None
+        recovered.append(parse_request(stream[:cut]))
+        stream = stream[cut:]
+    assert [(r.path, r.body) for r in recovered] == messages
+
+
+@given(st.sampled_from(["GET", "POST"]), paths, bodies)
+@settings(max_examples=50, deadline=None)
+def test_truncated_messages_never_frame(method, path, body):
+    data = HttpRequest(method, path, (), body).encode()
+    for cut in range(0, len(data), max(1, len(data) // 7)):
+        if cut < len(data):
+            truncated_frame = frame_length(data[:cut])
+            assert truncated_frame is None or truncated_frame <= cut
+
+
+@given(st.lists(st.tuples(paths, bodies), min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_page_service_deterministic_across_replicas(posts):
+    a, b = HttpPageService(pages={}), HttpPageService(pages={})
+    for path, body in posts:
+        op = post_operation(path, body)
+        assert a.execute(op).content == b.execute(op).content
+    for path, _ in posts:
+        op = get_operation(path)
+        assert a.execute(op).content == b.execute(op).content
+    assert a.snapshot() == b.snapshot()

@@ -1,0 +1,61 @@
+"""Property-based tests for the linearizability checker itself."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.linearizability import OpRecord, check_key_history
+
+
+@st.composite
+def sequential_histories(draw):
+    """Generate a history by *actually executing* ops sequentially against
+    a register — such a history is linearizable by construction."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    t = 0.0
+    state = None
+    records = []
+    for i in range(n):
+        is_put = draw(st.booleans())
+        duration = draw(st.floats(min_value=0.1, max_value=1.0))
+        if is_put:
+            value = str(draw(st.integers(0, 5))).encode()
+            records.append(OpRecord(f"c{i % 3}", "put", "k", value, t, t + duration))
+            state = value
+        else:
+            records.append(OpRecord(f"c{i % 3}", "get", "k", state, t, t + duration))
+        t += duration + draw(st.floats(min_value=0.01, max_value=0.5))
+    return records
+
+
+@given(sequential_histories())
+@settings(max_examples=100, deadline=None)
+def test_sequential_execution_is_always_linearizable(history):
+    assert check_key_history(history)
+
+
+@given(sequential_histories(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_reading_a_never_written_value_is_never_linearizable(history, data):
+    gets = [i for i, r in enumerate(history) if r.kind == "get"]
+    if not gets:
+        return
+    index = data.draw(st.sampled_from(gets))
+    victim = history[index]
+    poisoned = OpRecord(
+        victim.client, "get", victim.key, b"\xff<never written>",
+        victim.start, victim.end,
+    )
+    mutated = history[:index] + [poisoned] + history[index + 1:]
+    assert not check_key_history(mutated)
+
+
+@given(sequential_histories())
+@settings(max_examples=50, deadline=None)
+def test_widening_intervals_preserves_linearizability(history):
+    """Relaxing real-time constraints can only make a linearizable
+    history easier to linearize."""
+    widened = [
+        OpRecord(r.client, r.kind, r.key, r.value, r.start - 0.05, r.end + 0.05)
+        for r in history
+    ]
+    assert check_key_history(widened)

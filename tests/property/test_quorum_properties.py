@@ -1,0 +1,48 @@
+"""Property-based tests for the quorum arithmetic the design rests on."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hybster.config import ClusterConfig
+
+
+@given(st.integers(min_value=1, max_value=20))
+@settings(max_examples=50, deadline=None)
+def test_write_and_read_quorums_always_intersect(f):
+    """Section IV-B: a completed write's f+1 authenticated replies and a
+    fast read's f+1 cache entries must overlap in >= 1 Troxy — for every
+    f, and for every possible choice of the two quorums."""
+    config = ClusterConfig(f=f)
+    n = config.n
+    write_quorum = config.reply_quorum
+    read_quorum = 1 + f  # local troxy + f random remotes
+    # Worst case: the two quorums are chosen maximally disjoint.
+    assert write_quorum + read_quorum > n
+
+
+@given(st.integers(min_value=1, max_value=20))
+@settings(max_examples=50, deadline=None)
+def test_commit_quorums_intersect_in_a_correct_replica_or_counter(f):
+    """Two commit quorums of f+1 in 2f+1 intersect in >= 1 replica; with
+    trusted counters that single replica cannot equivocate, which is the
+    hybrid model's 2f+1 justification."""
+    config = ClusterConfig(f=f)
+    assert 2 * config.commit_quorum > config.n
+
+
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=20))
+@settings(max_examples=100, deadline=None)
+def test_liveness_headroom(f, crashed):
+    """With at most f crashed replicas, a commit quorum still exists."""
+    config = ClusterConfig(f=f)
+    crashed = min(crashed, f)
+    alive = config.n - crashed
+    assert alive >= config.commit_quorum
+
+
+@given(st.integers(min_value=1, max_value=20))
+@settings(max_examples=50, deadline=None)
+def test_byzantine_replies_cannot_outvote(f):
+    """f identical wrong replies never satisfy the f+1 voter."""
+    config = ClusterConfig(f=f)
+    assert f < config.reply_quorum

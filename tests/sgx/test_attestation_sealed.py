@@ -1,0 +1,94 @@
+"""Unit tests for attestation and sealed storage."""
+
+import pytest
+
+from repro.crypto import KeyRing, sha256
+from repro.sim import Environment, Network, RngTree
+from repro.sgx import (
+    AttestationError,
+    AttestationService,
+    Enclave,
+    SealedStorage,
+    SealError,
+    provision_keys,
+)
+
+
+def make_enclave(code_identity="troxy-v1"):
+    env = Environment()
+    net = Network(env, rng_tree=RngTree(1))
+    node = net.add_node("replica-0")
+    return Enclave(node, "troxy-0", code_identity=code_identity)
+
+
+def test_quote_verifies_for_enrolled_platform():
+    service = AttestationService(b"ias-secret")
+    service.register_platform("machine-0")
+    enclave = make_enclave()
+    quote = service.quote("machine-0", enclave)
+    service.verify(quote, enclave.measurement)  # must not raise
+
+
+def test_unenrolled_platform_rejected():
+    service = AttestationService(b"ias-secret")
+    enclave = make_enclave()
+    with pytest.raises(AttestationError, match="not enrolled"):
+        service.quote("rogue-box", enclave)
+
+
+def test_wrong_measurement_rejected():
+    service = AttestationService(b"ias-secret")
+    service.register_platform("machine-0")
+    evil = make_enclave(code_identity="troxy-v1-backdoored")
+    quote = service.quote("machine-0", evil)
+    genuine = make_enclave()
+    with pytest.raises(AttestationError, match="measurement mismatch"):
+        service.verify(quote, genuine.measurement)
+
+
+def test_forged_quote_rejected():
+    service = AttestationService(b"ias-secret")
+    impostor = AttestationService(b"not-the-ias")
+    impostor.register_platform("machine-0")
+    enclave = make_enclave()
+    forged = impostor.quote("machine-0", enclave)
+    with pytest.raises(AttestationError, match="signature invalid"):
+        service.verify(forged, enclave.measurement)
+
+
+def test_provisioning_releases_keys_only_after_attestation():
+    service = AttestationService(b"ias-secret")
+    service.register_platform("machine-0")
+    enclave = make_enclave()
+    ring = KeyRing(b"master-secret-00")
+    released = provision_keys(service, "machine-0", enclave, enclave.measurement, ring)
+    assert released is ring
+
+    evil = make_enclave(code_identity="troxy-evil")
+    with pytest.raises(AttestationError):
+        provision_keys(service, "machine-0", evil, enclave.measurement, ring)
+
+
+def test_sealed_roundtrip():
+    storage = SealedStorage(b"platform-secret", sha256(b"code-A"))
+    storage.seal("state", b"counter=7")
+    assert storage.unseal("state") == b"counter=7"
+
+
+def test_unseal_missing_returns_none():
+    storage = SealedStorage(b"platform-secret", sha256(b"code-A"))
+    assert storage.unseal("never-written") is None
+
+
+def test_tampered_blob_detected():
+    storage = SealedStorage(b"platform-secret", sha256(b"code-A"))
+    storage.seal("state", b"counter=7")
+    storage.tamper("state", b"counter=0")
+    with pytest.raises(SealError):
+        storage.unseal("state")
+
+
+def test_tamper_unknown_name_raises():
+    storage = SealedStorage(b"platform-secret", sha256(b"code-A"))
+    with pytest.raises(KeyError):
+        storage.tamper("nope", b"x")

@@ -1,0 +1,107 @@
+"""Unit tests for trusted monotonic counters."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto import KeyRing, sha256
+from repro.sgx import CounterError, SealedStorage, TrustedCounterSubsystem
+
+
+def make_subsystem(subsystem_id="tss-0", storage=None):
+    ring = KeyRing(b"master-secret-00")
+    return TrustedCounterSubsystem(subsystem_id, ring.troxy_group(), storage=storage)
+
+
+def test_create_and_current():
+    tss = make_subsystem()
+    tss.create("order")
+    assert tss.current("order") == 0
+
+
+def test_create_twice_rejected():
+    tss = make_subsystem()
+    tss.create("order")
+    with pytest.raises(CounterError):
+        tss.create("order")
+
+
+def test_unknown_counter_rejected():
+    tss = make_subsystem()
+    with pytest.raises(CounterError):
+        tss.current("missing")
+
+
+def test_certify_next_increments():
+    tss = make_subsystem()
+    tss.create("order")
+    cert1 = tss.certify_next("order", sha256(b"m1"))
+    cert2 = tss.certify_next("order", sha256(b"m2"))
+    assert (cert1.value, cert2.value) == (1, 2)
+    assert tss.current("order") == 2
+
+
+def test_certify_at_allows_skips_but_never_regression():
+    tss = make_subsystem()
+    tss.create("order")
+    tss.certify_at("order", 10, sha256(b"m"))
+    with pytest.raises(CounterError):
+        tss.certify_at("order", 10, sha256(b"other"))
+    with pytest.raises(CounterError):
+        tss.certify_at("order", 5, sha256(b"older"))
+    assert tss.certify_at("order", 11, sha256(b"next")).value == 11
+
+
+def test_no_two_messages_share_a_counter_value():
+    """The core hybrid-fault-model guarantee: equivocation is impossible."""
+    tss = make_subsystem()
+    tss.create("order")
+    cert = tss.certify_next("order", sha256(b"proposal A"))
+    with pytest.raises(CounterError):
+        tss.certify_at("order", cert.value, sha256(b"proposal B"))
+
+
+def test_verify_accepts_group_member_certificates():
+    alice = make_subsystem("tss-a")
+    bob = make_subsystem("tss-b")
+    alice.create("order")
+    cert = alice.certify_next("order", sha256(b"m"))
+    assert bob.verify(cert)
+
+
+def test_verify_rejects_forged_certificate():
+    alice = make_subsystem("tss-a")
+    outsider = TrustedCounterSubsystem(
+        "tss-evil", KeyRing(b"other-master-0000").troxy_group()
+    )
+    outsider.create("order")
+    forged = outsider.certify_next("order", sha256(b"evil"))
+    assert not alice.verify(forged)
+
+
+def test_verify_rejects_tampered_fields():
+    tss = make_subsystem()
+    tss.create("order")
+    cert = tss.certify_next("order", sha256(b"m"))
+    assert not tss.verify(dataclasses.replace(cert, value=99))
+    assert not tss.verify(dataclasses.replace(cert, digest=sha256(b"other")))
+    assert not tss.verify(dataclasses.replace(cert, subsystem_id="tss-x"))
+
+
+def test_counters_survive_reboot_via_sealed_storage():
+    storage = SealedStorage(b"platform-secret", sha256(b"code"))
+    tss = make_subsystem(storage=storage)
+    tss.create("order")
+    tss.certify_at("order", 41, sha256(b"m"))
+    # Reboot: a new subsystem instance over the same sealed storage.
+    tss2 = make_subsystem(storage=storage)
+    assert tss2.current("order") == 41
+    with pytest.raises(CounterError):
+        tss2.certify_at("order", 41, sha256(b"rollback attempt"))
+
+
+def test_certificate_wire_size_positive():
+    tss = make_subsystem()
+    tss.create("c")
+    cert = tss.certify_next("c", sha256(b"m"))
+    assert cert.wire_size > 40

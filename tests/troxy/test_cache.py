@@ -1,0 +1,123 @@
+"""Unit tests for the fast-read cache."""
+
+import pytest
+
+from repro.apps.base import Payload
+from repro.hybster.messages import Reply
+from repro.sim import Environment, Network, RngTree
+from repro.sgx import Enclave
+from repro.troxy.cache import FastReadCache
+
+
+def make_reply(content=b"value", rid=1):
+    return Reply(
+        replica_id="replica-0",
+        client_id="client-1",
+        request_id=rid,
+        result=Payload(content),
+        request_digest=b"\x01" * 32,
+    )
+
+
+def digest(i: int) -> bytes:
+    return i.to_bytes(4, "big") * 8
+
+
+def test_miss_then_install_then_hit():
+    cache = FastReadCache()
+    assert cache.get(digest(1)) is None
+    cache.install(digest(1), make_reply(), keys=("k",))
+    hit = cache.get(digest(1))
+    assert hit is not None
+    assert hit.result.content == b"value"
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+
+
+def test_peek_does_not_affect_stats():
+    cache = FastReadCache()
+    cache.install(digest(1), make_reply(), keys=("k",))
+    assert cache.peek(digest(1)) is not None
+    assert cache.peek(digest(2)) is None
+    assert cache.stats.hits == 0
+    assert cache.stats.misses == 0
+
+
+def test_invalidate_by_key():
+    cache = FastReadCache()
+    cache.install(digest(1), make_reply(), keys=("a",))
+    cache.install(digest(2), make_reply(), keys=("b",))
+    removed = cache.invalidate_keys(("a",))
+    assert removed == 1
+    assert cache.peek(digest(1)) is None
+    assert cache.peek(digest(2)) is not None
+
+
+def test_invalidate_multi_key_entry():
+    cache = FastReadCache()
+    cache.install(digest(1), make_reply(), keys=("a", "b"))
+    assert cache.invalidate_keys(("b",)) == 1
+    assert cache.peek(digest(1)) is None
+    # Index cleaned: invalidating again removes nothing.
+    assert cache.invalidate_keys(("a",)) == 0
+
+
+def test_reinstall_replaces_entry():
+    cache = FastReadCache()
+    cache.install(digest(1), make_reply(b"old"), keys=("k",))
+    cache.install(digest(1), make_reply(b"new"), keys=("k",))
+    assert len(cache) == 1
+    assert cache.peek(digest(1)).result.content == b"new"
+
+
+def test_lru_eviction():
+    cache = FastReadCache(max_entries=2)
+    cache.install(digest(1), make_reply(), keys=("a",))
+    cache.install(digest(2), make_reply(), keys=("b",))
+    cache.get(digest(1))  # touch 1 so 2 becomes LRU
+    cache.install(digest(3), make_reply(), keys=("c",))
+    assert cache.peek(digest(2)) is None
+    assert cache.peek(digest(1)) is not None
+    assert cache.stats.evictions == 1
+
+
+def test_clear_empties_everything():
+    cache = FastReadCache()
+    cache.install(digest(1), make_reply(), keys=("a",))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.invalidate_keys(("a",)) == 0
+
+
+def test_enclave_memory_accounting():
+    env = Environment()
+    net = Network(env, rng_tree=RngTree(1))
+    node = net.add_node("n")
+    enclave = Enclave(node, "troxy", code_identity="t")
+    cache = FastReadCache(enclave, store_outside=True)
+    cache.install(digest(1), make_reply(b"x" * 100), keys=("k",))
+    outside = enclave.resident_bytes
+    assert outside > 0
+    cache.remove(digest(1))
+    assert enclave.resident_bytes == 0
+
+    inside_cache = FastReadCache(enclave, store_outside=False)
+    inside_cache.install(digest(1), make_reply(b"x" * 100), keys=("k",))
+    assert enclave.resident_bytes > outside  # full reply counts in EPC
+
+
+def test_enclave_reboot_clears_cache():
+    env = Environment()
+    net = Network(env, rng_tree=RngTree(1))
+    node = net.add_node("n")
+    enclave = Enclave(node, "troxy", code_identity="t")
+    cache = FastReadCache(enclave)
+    cache.install(digest(1), make_reply(), keys=("k",))
+    enclave.reboot()
+    assert len(cache) == 0
+    assert enclave.resident_bytes == 0
+
+
+def test_invalid_max_entries():
+    with pytest.raises(ValueError):
+        FastReadCache(max_entries=0)

@@ -1,0 +1,52 @@
+"""Unit tests for the Troxy cache-protocol messages."""
+
+import pytest
+
+from repro.crypto import KeyRing
+from repro.troxy.messages import CacheEntryReply, CacheQuery
+
+
+def keyring():
+    return KeyRing(b"master-secret-00")
+
+
+def test_query_auth_input_binds_all_fields():
+    base = CacheQuery.auth_input(b"\x01" * 32, "replica-0", 7)
+    assert base != CacheQuery.auth_input(b"\x02" * 32, "replica-0", 7)
+    assert base != CacheQuery.auth_input(b"\x01" * 32, "replica-1", 7)
+    assert base != CacheQuery.auth_input(b"\x01" * 32, "replica-0", 8)
+
+
+def test_reply_auth_input_binds_all_fields_including_absent_entry():
+    present = CacheEntryReply.auth_input(b"\x01" * 32, b"\x02" * 32, "r", 1)
+    absent = CacheEntryReply.auth_input(b"\x01" * 32, None, "r", 1)
+    assert present != absent
+    assert absent != CacheEntryReply.auth_input(b"\x01" * 32, None, "r", 2)
+
+
+def test_query_tag_roundtrip():
+    ring = keyring()
+    key = ring.troxy_instance("replica-0")
+    tag = key.sign(CacheQuery.auth_input(b"\x01" * 32, "replica-0", 3))
+    query = CacheQuery(b"\x01" * 32, "replica-0", 3, tag)
+    assert key.verify(CacheQuery.auth_input(query.request_digest, query.asker, query.nonce), query.tag)
+    # Another instance's key must not verify it.
+    other = ring.troxy_instance("replica-1")
+    assert not other.verify(
+        CacheQuery.auth_input(query.request_digest, query.asker, query.nonce), query.tag
+    )
+
+
+def test_wire_sizes():
+    query = CacheQuery(b"\x01" * 32, "replica-0", 1, b"\x00" * 32)
+    assert query.wire_size >= 32 + 32 + 8
+    with_entry = CacheEntryReply(b"\x01" * 32, b"\x02" * 32, "replica-1", 1, b"\x00" * 32)
+    without = CacheEntryReply(b"\x01" * 32, None, "replica-1", 1, b"\x00" * 32)
+    assert with_entry.wire_size == without.wire_size + 32  # the hash optimization
+
+
+def test_reply_digest_only_not_full_body():
+    """Section VI-C2: only the hash of the reply crosses the wire."""
+    reply = CacheEntryReply(b"\x01" * 32, b"\x02" * 32, "replica-1", 1, b"\x00" * 32)
+    # 8 KB cached reply would otherwise dominate; digest keeps it ~100 B.
+    assert reply.wire_size < 200

@@ -1,0 +1,98 @@
+"""Unit tests for the conflict monitor / adaptive total-order switch."""
+
+import pytest
+
+from repro.troxy.monitor import ConflictMonitor
+
+
+def test_starts_in_fast_read_mode():
+    monitor = ConflictMonitor()
+    assert not monitor.total_order_mode
+    assert monitor.should_try_fast_read()
+
+
+def test_conflict_rate_computation():
+    monitor = ConflictMonitor(window=16, min_samples=16, threshold=0.9)
+    for _ in range(8):
+        monitor.record_fast_success()
+    for _ in range(8):
+        monitor.record_conflict()
+    assert monitor.conflict_rate == pytest.approx(0.5)
+
+
+def test_switches_to_total_order_at_threshold():
+    monitor = ConflictMonitor(window=16, min_samples=16, threshold=0.30)
+    for _ in range(11):
+        monitor.record_fast_success()
+    for _ in range(5):
+        monitor.record_conflict()
+    assert monitor.total_order_mode
+    assert monitor.stats.switches_to_total_order == 1
+
+
+def test_no_switch_below_min_samples():
+    monitor = ConflictMonitor(window=32, min_samples=16, threshold=0.30)
+    for _ in range(10):
+        monitor.record_conflict()
+    assert not monitor.total_order_mode  # only 10 of 16 required samples
+
+
+def test_cold_misses_do_not_latch_the_switch():
+    monitor = ConflictMonitor(window=16, min_samples=16)
+    for _ in range(100):
+        monitor.record_miss()
+    assert not monitor.total_order_mode
+    assert monitor.stats.misses == 100
+
+
+def test_probing_in_total_order_mode():
+    monitor = ConflictMonitor(window=16, min_samples=16, threshold=0.1, probe_interval=4)
+    for _ in range(16):
+        monitor.record_conflict()
+    assert monitor.total_order_mode
+    attempts = [monitor.should_try_fast_read() for _ in range(12)]
+    assert attempts.count(True) == 3  # every 4th read probes
+    assert monitor.stats.probes == 3
+
+
+def test_recovery_after_consecutive_probe_successes():
+    monitor = ConflictMonitor(
+        window=16, min_samples=16, threshold=0.1,
+        probe_interval=1, recovery_successes=3,
+    )
+    for _ in range(16):
+        monitor.record_conflict()
+    assert monitor.total_order_mode
+    for _ in range(3):
+        assert monitor.should_try_fast_read()
+        monitor.record_fast_success()
+    assert not monitor.total_order_mode
+    assert monitor.stats.switches_to_fast_read == 1
+
+
+def test_probe_failure_resets_recovery():
+    monitor = ConflictMonitor(
+        window=16, min_samples=16, threshold=0.1,
+        probe_interval=1, recovery_successes=2,
+    )
+    for _ in range(16):
+        monitor.record_conflict()
+    monitor.should_try_fast_read()
+    monitor.record_fast_success()
+    monitor.should_try_fast_read()
+    monitor.record_conflict()  # breaks the streak
+    monitor.should_try_fast_read()
+    monitor.record_fast_success()
+    assert monitor.total_order_mode  # still latched
+    monitor.should_try_fast_read()
+    monitor.record_fast_success()
+    assert not monitor.total_order_mode
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        ConflictMonitor(threshold=0.0)
+    with pytest.raises(ValueError):
+        ConflictMonitor(threshold=1.5)
+    with pytest.raises(ValueError):
+        ConflictMonitor(window=4, min_samples=16)

@@ -1,0 +1,77 @@
+"""Unit + property tests for key-access distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import HotspotKeys, UniformKeys, ZipfKeys
+
+
+def draw(dist, n=10000, seed=7):
+    rng = random.Random(seed)
+    return Counter(dist.sample(rng) for _ in range(n))
+
+
+def test_uniform_covers_key_space_evenly():
+    counts = draw(UniformKeys(10))
+    assert set(counts) == {f"k{i}" for i in range(10)}
+    assert max(counts.values()) < 2 * min(counts.values())
+
+
+def test_zipf_is_head_heavy():
+    counts = draw(ZipfKeys(1000, exponent=0.99))
+    top = counts["k0"]
+    mid = counts.get("k499", 0)
+    assert top > 20 * max(1, mid)
+    # Rank ordering roughly holds at the head.
+    assert counts["k0"] > counts.get("k9", 0)
+
+
+def test_zipf_low_exponent_flattens():
+    skewed = draw(ZipfKeys(100, exponent=1.2))
+    flat = draw(ZipfKeys(100, exponent=0.2))
+    assert skewed["k0"] > flat["k0"]
+
+
+def test_hotspot_fraction_respected():
+    counts = draw(HotspotKeys(100, hot_keys=2, hot_fraction=0.8))
+    hot = counts["k0"] + counts["k1"]
+    assert 0.75 < hot / 10000 < 0.85
+
+
+def test_hotspot_whole_space_hot():
+    counts = draw(HotspotKeys(5, hot_keys=5, hot_fraction=0.5))
+    assert set(counts) <= {f"k{i}" for i in range(5)}
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        UniformKeys(0)
+    with pytest.raises(ValueError):
+        ZipfKeys(10, exponent=0.0)
+    with pytest.raises(ValueError):
+        HotspotKeys(10, hot_keys=11)
+    with pytest.raises(ValueError):
+        HotspotKeys(10, hot_fraction=1.5)
+
+
+@given(st.integers(1, 500), st.floats(0.1, 2.0), st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_zipf_samples_always_in_range(key_space, exponent, seed):
+    dist = ZipfKeys(key_space, exponent=exponent)
+    rng = random.Random(seed)
+    for _ in range(20):
+        key = dist.sample(rng)
+        assert 0 <= int(key[1:]) < key_space
+
+
+@given(st.integers(1, 200), st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_uniform_samples_always_in_range(key_space, seed):
+    dist = UniformKeys(key_space)
+    rng = random.Random(seed)
+    for _ in range(20):
+        assert 0 <= int(dist.sample(rng)[1:]) < key_space

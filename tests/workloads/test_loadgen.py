@@ -1,0 +1,81 @@
+"""Unit tests for the load generators (with a stub service)."""
+
+import pytest
+
+from repro.analysis.metrics import Collector
+from repro.apps.base import Operation, OpKind, Payload
+from repro.hybster.client import InvokeResult
+from repro.sim import Environment
+from repro.workloads.loadgen import ClosedLoop, PacedLoop, measure
+
+
+class StubClient:
+    """Deterministic fake service: fixed latency per invocation."""
+
+    def __init__(self, env, latency=0.01):
+        self.env = env
+        self.latency = latency
+        self.invocations = 0
+
+    def invoke(self, op):
+        self.invocations += 1
+        start = self.env.now
+        yield self.env.timeout(self.latency)
+        return InvokeResult(Payload(b"ok"), self.env.now - start)
+
+
+def op_source(i, seq):
+    return Operation(OpKind.READ, "get", key=f"k{i}")
+
+
+def test_closed_loop_throughput_matches_latency():
+    env = Environment()
+    clients = [StubClient(env, latency=0.01) for _ in range(4)]
+    loadgen = ClosedLoop(env, clients, op_source, Collector())
+    summary = measure(env, loadgen, warmup=0.1, duration=1.0)
+    # 4 clients x 100/s each
+    assert summary.throughput == pytest.approx(400, rel=0.05)
+    assert summary.mean_latency == pytest.approx(0.01, rel=0.01)
+
+
+def test_closed_loop_think_time_reduces_rate():
+    env = Environment()
+    clients = [StubClient(env, latency=0.01)]
+    loadgen = ClosedLoop(env, clients, op_source, Collector(), think_time=0.09)
+    summary = measure(env, loadgen, warmup=0.1, duration=1.0)
+    assert summary.throughput == pytest.approx(10, rel=0.1)
+
+
+def test_paced_loop_holds_target_rate():
+    env = Environment()
+    clients = [StubClient(env, latency=0.001) for _ in range(10)]
+    loadgen = PacedLoop(env, clients, op_source, Collector(), rate_per_client=5.0)
+    summary = measure(env, loadgen, warmup=1.0, duration=4.0)
+    assert summary.throughput == pytest.approx(50, rel=0.1)
+    # Not saturating: latency equals the service latency.
+    assert summary.mean_latency == pytest.approx(0.001, rel=0.05)
+
+
+def test_paced_loop_skips_beats_when_slow():
+    env = Environment()
+    clients = [StubClient(env, latency=0.5)]  # slower than the 0.1 s interval
+    loadgen = PacedLoop(env, clients, op_source, Collector(), rate_per_client=10.0)
+    summary = measure(env, loadgen, warmup=0.5, duration=2.0)
+    # Degrades to roughly the closed-loop rate (1/0.5 s = 2/s; window
+    # boundary effects allow one extra completion) instead of piling up.
+    assert 1.5 <= summary.throughput <= 3.0
+
+
+def test_paced_loop_rejects_bad_rate():
+    env = Environment()
+    with pytest.raises(ValueError):
+        PacedLoop(env, [], op_source, Collector(), rate_per_client=0.0)
+
+
+def test_loadgen_stats_track_completion():
+    env = Environment()
+    clients = [StubClient(env)]
+    loadgen = ClosedLoop(env, clients, op_source, Collector())
+    loadgen.start()
+    env.run(until=0.1)
+    assert loadgen.stats.started >= loadgen.stats.completed > 0
