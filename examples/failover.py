@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Fault tour: Troxy crash, untrusted-host tampering, leader failure.
 
-Shows the fault handling of Section III-D end to end:
+Shows the fault handling of Section III-D end to end, staged through the
+declarative fault plane (:mod:`repro.faults`):
 
 1. the client's contact Troxy crashes -> the client reconnects to the
    next server and retransmits, exactly like against any web service;
@@ -13,16 +14,14 @@ Shows the fault handling of Section III-D end to end:
 Run:  python examples/failover.py
 """
 
-import dataclasses
-
-from repro.apps.base import Payload
 from repro.apps.kvstore import KvStore, get, put
 from repro.bench.clusters import build_troxy
-from repro.hybster.secure import SecureEnvelope
+from repro.faults import FaultPlane, HostTamper, ReplicaCrash
 
 
 def main():
     cluster = build_troxy(seed=3, app_factory=KvStore)
+    plane = FaultPlane(cluster)
     client = cluster.new_client(contact_index=1, request_timeout=1.0)
     events = []
 
@@ -32,29 +31,14 @@ def main():
 
         # 1. Crash the contact server (replica + its Troxy).
         crashed = client.contact.replica_id
-        cluster.host_of(crashed).stop()
+        plane.inject(ReplicaCrash(crashed))
         outcome = yield from client.invoke(get("account"))
         events.append((f"read after {crashed} crashed (failovers={client.stats.failovers})", outcome))
 
         # 2. The (new) contact's untrusted host corrupts one sealed reply.
-        original_send = cluster.net.send
-        state = {"armed": True}
-
-        def tampering_send(src, dst, payload, size=None, **kwargs):
-            if (
-                state["armed"]
-                and src == client.contact.replica_id
-                and dst.startswith("client-machine")
-                and isinstance(payload, SecureEnvelope)
-            ):
-                state["armed"] = False
-                forged = dataclasses.replace(
-                    payload.body, result=Payload(b"balance=1000000")
-                )
-                payload = SecureEnvelope(payload.record, forged)
-            return original_send(src, dst, payload, size, **kwargs)
-
-        cluster.net.send = tampering_send
+        plane.inject(HostTamper(
+            client.contact.replica_id, forged_result=b"balance=1000000", count=1
+        ))
         outcome = yield from client.invoke(get("account"))
         events.append(
             (f"read despite reply tampering (invalid replies seen="
@@ -67,17 +51,22 @@ def main():
     for label, outcome in events:
         print(f"{label:55s} -> {outcome.result.content!r}")
 
+    print("\nfault plane log:")
+    for entry in plane.log:
+        print(f"  t={entry['t']:.3f}  {entry['event']:6s} {entry['fault']}")
+
     # 3. Leader failure on a fresh cluster (only f=1 crashes are covered;
     # the scenario above already used up the budget on replica-1).
     print("\n--- leader crash / view change (fresh cluster) ---")
     cluster2 = build_troxy(seed=4, app_factory=KvStore)
+    plane2 = FaultPlane(cluster2)
     client2 = cluster2.new_client(contact_index=1, request_timeout=2.0)
     events2 = []
 
     def scenario2():
         outcome = yield from client2.invoke(put("account", b"balance=100"))
         events2.append(("write in view 0", outcome))
-        cluster2.host_of("replica-0").stop()  # the view-0 leader
+        plane2.inject(ReplicaCrash("replica-0"))  # the view-0 leader
         outcome = yield from client2.invoke(put("account", b"balance=42"))
         events2.append(("write after leader crash (view change)", outcome))
         outcome = yield from client2.invoke(get("account"))

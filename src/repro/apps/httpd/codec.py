@@ -39,8 +39,11 @@ class HttpRequest:
         return None
 
     def encode(self) -> bytes:
-        headers = list(self.headers)
-        if self.body and self.header("content-length") is None:
+        # Framing is the codec's job: caller-supplied Content-Length
+        # headers (any capitalisation) are dropped and replaced with the
+        # actual body length, else parsing could mis-frame the message.
+        headers = _strip_content_length(self.headers)
+        if self.body:
             headers.append(("Content-Length", str(len(self.body))))
         # HTTP/1.1 header fields are latin-1 on the wire (RFC 7230).
         lines = [f"{self.method} {self.path} HTTP/1.1".encode("latin-1")]
@@ -68,12 +71,15 @@ class HttpResponse:
         reason = self.reason or {200: "OK", 201: "Created", 404: "Not Found"}.get(
             self.status, ""
         )
-        headers = list(self.headers)
-        if self.header("content-length") is None:
-            headers.append(("Content-Length", str(len(self.body))))
+        headers = _strip_content_length(self.headers)
+        headers.append(("Content-Length", str(len(self.body))))
         lines = [f"HTTP/1.1 {self.status} {reason}".encode("latin-1")]
         lines += [f"{k}: {v}".encode("latin-1") for k, v in headers]
         return CRLF.join(lines) + HEADER_END + self.body
+
+
+def _strip_content_length(headers: tuple[tuple[str, str], ...]) -> list[tuple[str, str]]:
+    return [(k, v) for k, v in headers if k.lower() != "content-length"]
 
 
 def _parse_headers(block: bytes) -> tuple[tuple[str, str], ...]:

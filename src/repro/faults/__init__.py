@@ -1,0 +1,73 @@
+"""Declarative fault injection and chaos campaigns for the simulation.
+
+The subsystem has four layers:
+
+* :mod:`repro.faults.model` — declarative fault types (what goes wrong);
+* :mod:`repro.faults.schedule` — timed schedules and the named scenario
+  catalogue (when it goes wrong);
+* :mod:`repro.faults.injector` — the :class:`FaultPlane` that stages
+  faults against a live cluster through small interception points (how
+  it is made to go wrong);
+* :mod:`repro.faults.invariants` / :mod:`repro.faults.campaign` — what
+  must still hold afterwards, and the deterministic runner that sweeps
+  scenarios × seeds (``python -m repro.faults``).
+"""
+
+from .injector import FaultPlane, WireRule
+from .invariants import (
+    InvariantResult,
+    check_cache_freshness,
+    check_counter_monotonicity,
+    check_linearizability,
+    check_liveness,
+)
+from .model import (
+    ALL_FAULT_TYPES,
+    EnclaveReboot,
+    Fault,
+    HostTamper,
+    MessageCorrupt,
+    MessageDelay,
+    MessageLoss,
+    NetworkPartition,
+    ReplicaCrash,
+    ReplicaRestart,
+    WriteContentionAttack,
+)
+from .schedule import (
+    SCENARIOS,
+    FaultEvent,
+    Scenario,
+    Schedule,
+    WorkloadSpec,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "ALL_FAULT_TYPES",
+    "EnclaveReboot",
+    "Fault",
+    "FaultEvent",
+    "FaultPlane",
+    "HostTamper",
+    "InvariantResult",
+    "MessageCorrupt",
+    "MessageDelay",
+    "MessageLoss",
+    "NetworkPartition",
+    "ReplicaCrash",
+    "ReplicaRestart",
+    "SCENARIOS",
+    "Scenario",
+    "Schedule",
+    "WireRule",
+    "WorkloadSpec",
+    "WriteContentionAttack",
+    "check_cache_freshness",
+    "check_counter_monotonicity",
+    "check_linearizability",
+    "check_liveness",
+    "get_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,79 @@
+"""CLI for deterministic chaos campaigns.
+
+Usage::
+
+    python -m repro.faults --scenarios all --seeds 20 --report out.json
+    python -m repro.faults --scenarios troxy_crash_failover,host_tamper_replies
+    python -m repro.faults --list
+
+Exit status is non-zero when any (scenario, seed) run violates an
+invariant, so the command slots straight into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .campaign import render_text, report_to_json, resolve_scenarios, run_campaign
+from .schedule import SCENARIOS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Run fault-injection scenarios against a simulated "
+        "Troxy cluster and check linearizability, liveness, cache "
+        "freshness and counter monotonicity.",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default="all",
+        help="comma-separated scenario names, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=5,
+        metavar="N",
+        help="run each scenario at seeds 0..N-1 (default: 5)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write the full JSON report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for scenario in SCENARIOS.values():
+            print(f"{scenario.name:<28} [{scenario.paper_ref}]")
+            print(f"    {scenario.description}")
+        return 0
+
+    try:
+        names = resolve_scenarios(args.scenarios)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+
+    report = run_campaign(names, list(range(args.seeds)))
+
+    if args.report == "-":
+        print(report_to_json(report), end="")
+    else:
+        print(render_text(report))
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(report_to_json(report))
+            print(f"report written to {args.report}")
+
+    return 0 if not report["summary"]["failed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

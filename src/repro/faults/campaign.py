@@ -1,0 +1,204 @@
+"""Deterministic chaos campaigns over the scenario catalogue.
+
+``run_scenario`` builds a fresh Troxy cluster, runs the scenario's
+client workload underneath its fault schedule, and evaluates the four
+invariants; ``run_campaign`` sweeps scenarios × seeds and aggregates a
+JSON-serialisable report. Determinism is absolute: every random choice
+flows from ``RngTree(seed)`` streams and the report contains no
+wall-clock data, so the same (scenario, seed) pair reproduces the same
+report byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..analysis.history import HistoryRecorder
+from ..apps.kvstore import KvStore, get, put
+from ..bench.clusters import build_troxy
+from ..sim.rng import RngTree
+from .injector import FaultPlane
+from .invariants import (
+    check_cache_freshness,
+    check_counter_monotonicity,
+    check_linearizability,
+    check_liveness,
+)
+from .schedule import Scenario, WorkloadSpec, get_scenario, scenario_names
+
+
+@dataclass
+class DriverState:
+    """Progress of one workload client."""
+
+    client_id: str
+    ops: int = 0
+    retries: int = 0
+    done: bool = False
+
+
+def _workload_driver(env, client, spec: WorkloadSpec, rng, state: DriverState):
+    for n in range(spec.ops_per_client):
+        key = rng.choice(spec.keys)
+        if rng.random() < spec.write_ratio:
+            # Unique written values make the staleness check sound.
+            outcome = yield from client.invoke(
+                put(key, f"{state.client_id}/{n}".encode())
+            )
+        else:
+            outcome = yield from client.invoke(get(key))
+        state.ops += 1
+        state.retries += outcome.retries
+        if spec.think_time:
+            yield env.timeout(spec.think_time)
+    state.done = True
+
+
+def run_scenario(scenario: Scenario, seed: int) -> dict:
+    """Run one scenario at one seed; returns a JSON-serialisable result."""
+    rng_tree = RngTree(seed)
+    cluster = build_troxy(
+        seed=seed, app_factory=KvStore, **scenario.build_kwargs()
+    )
+    recorder = HistoryRecorder(cluster.env)
+    plane = FaultPlane(
+        cluster,
+        rng=rng_tree.derive("faults", scenario.name),
+        recorder=recorder,
+    )
+
+    spec = scenario.workload
+    drivers: list[DriverState] = []
+    for i in range(spec.clients):
+        client = recorder.wrap(
+            cluster.new_client(request_timeout=spec.request_timeout)
+        )
+        state = DriverState(client_id=client.client_id)
+        drivers.append(state)
+        cluster.env.process(
+            _workload_driver(
+                cluster.env,
+                client,
+                spec,
+                rng_tree.derive("workload", scenario.name, str(i)),
+                state,
+            ),
+            name=f"chaos:driver-{state.client_id}",
+        )
+
+    plane.drive(scenario.schedule)
+    cluster.env.run(until=scenario.horizon)
+
+    unfinished = [d.client_id for d in drivers if not d.done]
+    unfinished += [s.client_id for s in plane.attack_states if not s.done]
+
+    counter_chains = {
+        replica.replica_id: plane.counter_baselines.get(replica.replica_id, [])
+        + [replica.counters.snapshot()]
+        for replica in cluster.replicas
+    }
+
+    invariants = [
+        check_linearizability(recorder.records),
+        check_liveness(unfinished),
+        check_cache_freshness(recorder.records),
+        check_counter_monotonicity(counter_chains),
+    ]
+
+    stats = {
+        "ops_completed": sum(d.ops for d in drivers),
+        "client_retries": sum(d.retries for d in drivers),
+        "attack_ops": sum(s.completed for s in plane.attack_states),
+        "history_length": len(recorder.records),
+        "fast_read_hits": sum(c.stats.fast_read_hits for c in cluster.cores),
+        "fast_read_conflicts": sum(
+            c.stats.fast_read_conflicts for c in cluster.cores
+        ),
+        "fast_read_timeouts": sum(
+            c.stats.fast_read_timeouts for c in cluster.cores
+        ),
+        "ordered_requests": sum(c.stats.ordered_requests for c in cluster.cores),
+        "invalid_messages": sum(c.stats.invalid_messages for c in cluster.cores),
+        "switches_to_total_order": sum(
+            c.monitor.stats.switches_to_total_order for c in cluster.cores
+        ),
+        "enclave_reboots": sum(h.enclave.stats.reboots for h in cluster.hosts),
+        "tampered_or_dropped": sum(rule.hits for rule in plane.rules)
+        + sum(plane._retired_hits.values()),
+    }
+
+    return {
+        "scenario": scenario.name,
+        "seed": seed,
+        "paper_ref": scenario.paper_ref,
+        "horizon": scenario.horizon,
+        "ok": all(r.ok for r in invariants),
+        "invariants": [r.as_dict() for r in invariants],
+        "stats": stats,
+        "fault_log": plane.log,
+    }
+
+
+def resolve_scenarios(spec: str) -> list[str]:
+    """Expand a ``--scenarios`` argument into catalogue names."""
+    if spec.strip() == "all":
+        return list(scenario_names())
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    for name in names:
+        get_scenario(name)  # raises KeyError with the known list
+    return names
+
+
+def run_campaign(names: list[str], seeds: list[int]) -> dict:
+    """Run every (scenario, seed) pair and aggregate a report."""
+    results = []
+    for name in names:
+        scenario = get_scenario(name)
+        for seed in seeds:
+            results.append(run_scenario(scenario, seed))
+    failed = [
+        {"scenario": r["scenario"], "seed": r["seed"]}
+        for r in results
+        if not r["ok"]
+    ]
+    return {
+        "tool": "repro.faults",
+        "scenarios": names,
+        "seeds": seeds,
+        "runs": results,
+        "summary": {
+            "total": len(results),
+            "passed": len(results) - len(failed),
+            "failed": failed,
+        },
+    }
+
+
+def report_to_json(report: dict) -> str:
+    """Canonical byte-stable encoding of a campaign report."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_text(report: dict) -> str:
+    """Terminal summary of a campaign report."""
+    lines = []
+    for run in report["runs"]:
+        verdict = "PASS" if run["ok"] else "FAIL"
+        stats = run["stats"]
+        lines.append(
+            f"{verdict}  {run['scenario']:<28} seed={run['seed']:<3} "
+            f"ops={stats['ops_completed']:<4} retries={stats['client_retries']:<3} "
+            f"ordered={stats['ordered_requests']:<4} "
+            f"to-switches={stats['switches_to_total_order']}"
+        )
+        if not run["ok"]:
+            for inv in run["invariants"]:
+                if not inv["ok"]:
+                    lines.append(f"      {inv['name']}: {inv['detail']}")
+    summary = report["summary"]
+    lines.append(
+        f"{summary['passed']}/{summary['total']} runs passed"
+        + ("" if not summary["failed"] else f", failed: {summary['failed']}")
+    )
+    return "\n".join(lines)

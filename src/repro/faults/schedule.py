@@ -1,0 +1,306 @@
+"""Timed fault schedules and the named scenario catalogue.
+
+A :class:`Schedule` is a list of :class:`FaultEvent`\\ s — *inject fault
+F at time T, heal it D seconds later* — that the fault plane replays
+against a running cluster. Schedules compose with ``+`` so complex
+scenarios are built from reusable pieces.
+
+A :class:`Scenario` bundles a schedule with the client workload that
+runs underneath it and the simulated horizon by which everything must
+have completed (the liveness invariant). The built-in catalogue in
+:data:`SCENARIOS` covers the paper's fault-handling claims one by one;
+``python -m repro.faults --list`` prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..troxy.monitor import ConflictMonitor
+from .model import (
+    EnclaveReboot,
+    Fault,
+    HostTamper,
+    MessageCorrupt,
+    MessageDelay,
+    MessageLoss,
+    NetworkPartition,
+    ReplicaCrash,
+    WriteContentionAttack,
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Inject ``fault`` at ``at`` seconds; heal after ``duration`` if set."""
+
+    at: float
+    fault: Fault
+    duration: Optional[float] = None
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"negative injection time: {self.at}")
+        if self.duration is not None:
+            if self.duration <= 0:
+                raise ValueError(f"non-positive duration: {self.duration}")
+            if not self.fault.revertible:
+                raise ValueError(
+                    f"{type(self.fault).__name__} is instantaneous; "
+                    "scheduling it with a duration is meaningless"
+                )
+        if isinstance(self.fault, WriteContentionAttack) and self.duration is None:
+            raise ValueError("WriteContentionAttack must be scheduled with a duration")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An ordered collection of fault events."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __add__(self, other: "Schedule") -> "Schedule":
+        return Schedule(self.events + other.events)
+
+    @staticmethod
+    def at(at: float, fault: Fault, duration: Optional[float] = None) -> "Schedule":
+        return Schedule((FaultEvent(at, fault, duration),))
+
+    @staticmethod
+    def of(*events: FaultEvent) -> "Schedule":
+        return Schedule(tuple(events))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The client workload running underneath a fault schedule."""
+
+    clients: int = 3
+    ops_per_client: int = 14
+    keys: tuple[str, ...] = ("k0", "k1", "k2", "k3")
+    write_ratio: float = 0.35
+    think_time: float = 0.05  # pacing gap between one client's ops
+    request_timeout: float = 1.0  # legacy-client retransmission timeout
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named chaos scenario: schedule + workload + horizon."""
+
+    name: str
+    description: str
+    paper_ref: str
+    schedule: Schedule
+    workload: WorkloadSpec = WorkloadSpec()
+    horizon: float = 45.0  # sim-seconds before invariants are evaluated
+    cluster_kwargs: tuple[tuple[str, object], ...] = ()
+
+    def build_kwargs(self) -> dict:
+        return dict(self.cluster_kwargs)
+
+
+def _contention_monitor() -> ConflictMonitor:
+    """Monitor variant that samples misses too: under sustained write
+    contention every read misses on a freshly invalidated entry, which is
+    the signal the paper's adaptive switch reacts to (Section VI-C3)."""
+    return ConflictMonitor(count_misses=True)
+
+
+def _catalogue() -> dict[str, Scenario]:
+    replica_links = {"src": "replica-*", "dst": "replica-*"}
+    scenarios = [
+        Scenario(
+            name="healthy_control",
+            description="No faults; establishes the invariant baseline.",
+            paper_ref="VI-C1 (normal operation)",
+            schedule=Schedule(),
+            horizon=30.0,
+        ),
+        Scenario(
+            name="troxy_crash_failover",
+            description=(
+                "A follower's server (replica + Troxy) crashes mid-workload "
+                "and restarts later; clients fail over like against any "
+                "crashed web server."
+            ),
+            paper_ref="III-D (fault handling)",
+            schedule=Schedule.at(0.25, ReplicaCrash("replica-1"), duration=6.0),
+        ),
+        Scenario(
+            name="leader_crash_view_change",
+            description=(
+                "The view-0 leader dies for good; a view change elects a new "
+                "leader and service continues transparently."
+            ),
+            paper_ref="III-D (fault handling)",
+            schedule=Schedule.at(0.25, ReplicaCrash("replica-0")),
+            horizon=60.0,
+        ),
+        Scenario(
+            name="crash_restart_recovery",
+            description=(
+                "A follower crashes briefly and rejoins via state transfer; "
+                "its rebuilt state must stay consistent."
+            ),
+            paper_ref="III-D (fault handling)",
+            schedule=Schedule.at(0.2, ReplicaCrash("replica-2"), duration=3.0),
+        ),
+        Scenario(
+            name="enclave_reboot_rollback",
+            description=(
+                "Rollback attack: two Troxy enclaves are power-cycled. The "
+                "fast-read cache starts cold, sealed counters must never "
+                "regress."
+            ),
+            paper_ref="IV-B (cache recovery, trusted counters)",
+            schedule=(
+                Schedule.at(0.3, EnclaveReboot("replica-0"))
+                + Schedule.at(0.8, EnclaveReboot("replica-1"))
+            ),
+        ),
+        Scenario(
+            name="partition_minority",
+            description=(
+                "One replica is partitioned away for a window; the remaining "
+                "2f replicas keep the service live and the victim catches up "
+                "after the heal."
+            ),
+            paper_ref="III-D (fault handling)",
+            schedule=Schedule.at(
+                0.25,
+                NetworkPartition((("replica-2",), ("replica-0", "replica-1"))),
+                duration=4.0,
+            ),
+        ),
+        Scenario(
+            name="message_delay_burst",
+            description=(
+                "Replica-to-replica links gain 80±40 ms for two seconds "
+                "(performance attack on the ordering path)."
+            ),
+            paper_ref="VI-C3 (performance attacks)",
+            schedule=Schedule.at(
+                0.2,
+                MessageDelay(delay=0.08, jitter=0.04, **replica_links),
+                duration=2.0,
+            ),
+            horizon=60.0,
+        ),
+        Scenario(
+            name="message_loss_burst",
+            description=(
+                "Replica-to-replica links drop 25% of traffic for two "
+                "seconds; retransmission and refetch paths must recover."
+            ),
+            paper_ref="VI-C3 (performance attacks)",
+            schedule=Schedule.at(
+                0.2,
+                MessageLoss(probability=0.25, **replica_links),
+                duration=2.0,
+            ),
+            horizon=60.0,
+        ),
+        Scenario(
+            name="reply_corruption",
+            description=(
+                "Every sealed reply leaving replica-0 for a client machine "
+                "is corrupted for 1.5 s; clients must detect the broken "
+                "channel and fail over."
+            ),
+            paper_ref="VI-B (bypassing the Troxy)",
+            schedule=Schedule.at(
+                0.2,
+                MessageCorrupt(
+                    src="replica-0",
+                    dst="client-machine-*",
+                    payload_types=("SecureEnvelope",),
+                ),
+                duration=1.5,
+            ),
+        ),
+        Scenario(
+            name="host_tamper_replies",
+            description=(
+                "The untrusted host of replica-0 forges the result inside "
+                "two sealed replies; the Troxy seal exposes the forgery."
+            ),
+            paper_ref="VI-B (bypassing the Troxy)",
+            schedule=Schedule.at(
+                0.25,
+                HostTamper("replica-0", forged_result=b"\xffforged", count=2),
+                duration=5.0,
+            ),
+        ),
+        Scenario(
+            name="write_contention_attack",
+            description=(
+                "An adversarial client hammers writes at the hottest keys; "
+                "the conflict monitor must fall back to total-order mode "
+                "instead of livelocking fast reads."
+            ),
+            paper_ref="VI-C3 (performance attacks)",
+            schedule=Schedule.at(
+                0.2,
+                WriteContentionAttack(keys=("k0", "k1"), interval=0.006),
+                duration=1.5,
+            ),
+            # Read-heavy, tightly paced workload on the attacked keys so
+            # each Troxy's monitor accumulates enough fast-read samples
+            # to trip the total-order switch during the attack window.
+            workload=WorkloadSpec(
+                clients=3,
+                ops_per_client=40,
+                keys=("k0", "k1"),
+                write_ratio=0.1,
+                think_time=0.01,
+            ),
+            cluster_kwargs=(("monitor_factory", _contention_monitor),),
+        ),
+        Scenario(
+            name="unresponsive_cache_peer",
+            description=(
+                "replica-0 never delivers its outgoing cache queries; its "
+                "fast reads must time out into the ordered path instead of "
+                "hanging, and the repeated timeouts must trip its monitor "
+                "into total-order mode."
+            ),
+            paper_ref="VI-C3 (performance attacks)",
+            schedule=Schedule.at(
+                0.0,
+                MessageLoss(
+                    src="replica-0",
+                    dst="replica-*",
+                    payload_types=("CacheQuery",),
+                    probability=1.0,
+                ),
+                duration=10.0,
+            ),
+            # Read-heavy so the client contacting replica-0 generates
+            # enough timed-out fast reads to reach the switch threshold.
+            workload=WorkloadSpec(
+                clients=3,
+                ops_per_client=30,
+                keys=("k0", "k1"),
+                write_ratio=0.1,
+                think_time=0.01,
+            ),
+            cluster_kwargs=(("query_timeout", 0.2),),
+        ),
+    ]
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+SCENARIOS: dict[str, Scenario] = _catalogue()
+
+
+def scenario_names() -> tuple[str, ...]:
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None

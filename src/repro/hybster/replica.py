@@ -146,6 +146,10 @@ class Replica:
             self.counters.create(self._order_counter(0))
 
         self.reply_sink: Callable = self._default_reply_sink
+        # Fault-injection hook: when set, every dispatched payload is
+        # offered to the filter first; returning False swallows it
+        # (models a mute/selectively-deaf replica without touching links).
+        self.dispatch_filter: Optional[Callable[[object], bool]] = None
 
         # Trusted-subsystem entry points (three of Hybster's boundary
         # crossings); each certify pays the crossing plus one MAC.
@@ -254,6 +258,8 @@ class Replica:
         """
         if self._stopped:
             return
+        if self.dispatch_filter is not None and not self.dispatch_filter(payload):
+            return
         self.env.process(self._handle(payload), name=f"{self.replica_id}:handle")
 
     def _handle(self, payload):
@@ -325,7 +331,7 @@ class Replica:
         if last is not None and request.request_id <= last:
             cached = self._last_reply.get(request.client_id)
             if cached is not None and cached.request_id == request.request_id:
-                yield from self._emit_reply(request, cached)
+                yield from self._emit_reply(request, cached, fresh=False)
             if relay:
                 # Retransmission through a (possibly new) contact point:
                 # fan out so every replica re-emits its cached reply to the
@@ -545,10 +551,14 @@ class Replica:
         )
         yield from self._emit_reply(request, reply)
 
-    def _emit_reply(self, request: Request, reply: Reply):
-        yield from self.reply_sink(request, reply)
+    def _emit_reply(self, request: Request, reply: Reply, fresh: bool = True):
+        # ``fresh`` distinguishes a reply produced by executing the
+        # request now from a replay out of the duplicate-suppression
+        # cache; sinks that maintain state keyed to execution order (the
+        # Troxy fast-read cache) must not treat a replay as fresh.
+        yield from self.reply_sink(request, reply, fresh)
 
-    def _default_reply_sink(self, request: Request, reply: Reply):
+    def _default_reply_sink(self, request: Request, reply: Reply, fresh: bool = True):
         """Baseline deployment: seal the reply for the client and send it."""
         endpoint = self._client_endpoints.get(request.client_id)
         if endpoint is None:

@@ -67,6 +67,14 @@ class TrustedCounterSubsystem:
         self._counters[counter_name] = 0
         self._persist()
 
+    def snapshot(self) -> dict[str, int]:
+        """Current value of every counter.
+
+        Rollback-protection checks compare snapshots taken around an
+        enclave reboot: sealed counters must never move backwards.
+        """
+        return dict(self._counters)
+
     def current(self, counter_name: str) -> int:
         try:
             return self._counters[counter_name]

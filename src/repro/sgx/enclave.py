@@ -99,6 +99,10 @@ class Enclave:
         self._ecalls: dict[str, Callable] = {}
         self._resident_bytes = 0
         self._reboot_hooks: list[Callable[[], None]] = []
+        # Observation hooks called with each ecall name before dispatch;
+        # used by the fault-injection plane to attribute enclave activity
+        # per scenario without wrapping the interface table.
+        self.ecall_taps: list[Callable[[str], None]] = []
 
     # -- interface table -----------------------------------------------------
 
@@ -128,6 +132,8 @@ class Enclave:
         fn = self._ecalls.get(name)
         if fn is None:
             raise EnclaveViolation(f"no such ecall: {name!r}")
+        for tap in self.ecall_taps:
+            tap(name)
         self.stats.ecalls += 1
         self.stats.bytes_copied_in += bytes_in
         self.stats.bytes_copied_out += bytes_out

@@ -100,6 +100,26 @@ class Message:
 
 
 @dataclass
+class SendAttempt:
+    """Mutable draft of one transfer, offered to registered send filters.
+
+    A filter (the fault plane, a test tap, ...) may observe the draft,
+    replace the payload (tampering/corruption), set ``drop`` to swallow
+    the message, or add ``extra_delay`` seconds of propagation time.
+    Source, destination, and stream identity are fixed: the simulated
+    adversary sits *on the wire*, it cannot re-address traffic.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    size: int
+    stream: Optional[str]
+    drop: bool = False
+    extra_delay: float = 0.0
+
+
+@dataclass
 class NicConfig:
     """Network interface capacity of one node."""
 
@@ -185,6 +205,7 @@ class Network:
         self._latency_overrides: dict[tuple[str, str], LatencyModel] = {}
         self._links: dict[tuple[str, str], _LinkState] = {}
         self._loss_rng = self.rng_tree.derive("network", "loss")
+        self._send_filters: list[Any] = []
         self._latency_rngs: dict[tuple[str, str], Any] = {}
         self._msg_ids = itertools.count()
         self.messages_sent = 0
@@ -242,6 +263,19 @@ class Network:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"bad loss probability: {probability}")
         self._link(src, dst).loss_probability = probability
+
+    def add_send_filter(self, fn) -> None:
+        """Install ``fn(attempt: SendAttempt) -> None`` on the send path.
+
+        Filters run in registration order on every transfer, after the
+        sender-crash check and before link fault state. This is the
+        single interception point the fault-injection plane
+        (:mod:`repro.faults.injector`) builds on.
+        """
+        self._send_filters.append(fn)
+
+    def remove_send_filter(self, fn) -> None:
+        self._send_filters.remove(fn)
 
     # -- transfer ------------------------------------------------------------
 
@@ -312,6 +346,19 @@ class Network:
         receiver = self.nodes[dst]
         if sender.crashed:
             return
+        extra_delay = 0.0
+        if self._send_filters:
+            attempt = SendAttempt(src, dst, payload, int(size), stream)
+            for fn in tuple(self._send_filters):
+                fn(attempt)
+                if attempt.drop:
+                    self.tracer.record(
+                        self.env.now, "net.fault", src,
+                        f"->{dst} dropped by filter ({attempt.size} B)",
+                    )
+                    return
+            payload, size = attempt.payload, attempt.size
+            extra_delay = attempt.extra_delay
         state = self._links.get((src, dst))
         if state is not None:
             if state.cut:
@@ -334,9 +381,11 @@ class Network:
             seq = self._stream_send_seq.get(pair, 0)
             self._stream_send_seq[pair] = seq + 1
             self._stream_seq_of[msg.msg_id] = (pair, seq)
-        self._transfer(msg, sender, receiver)
+        self._transfer(msg, sender, receiver, extra_delay=extra_delay)
 
-    def _transfer(self, msg: Message, sender: Node, receiver: Node) -> None:
+    def _transfer(
+        self, msg: Message, sender: Node, receiver: Node, extra_delay: float = 0.0
+    ) -> None:
         """Callback-chained transfer: tx slot -> serialize -> propagate ->
         rx slot -> serialize -> deliver. (Hot path: avoids spawning a
         process per message.)"""
@@ -348,7 +397,7 @@ class Network:
 
         def on_tx_done(_event) -> None:
             sender.tx.release()
-            arrival = env.timeout(self._latency_for(msg.src, msg.dst))
+            arrival = env.timeout(self._latency_for(msg.src, msg.dst) + extra_delay)
             arrival.callbacks.append(on_arrival)
 
         def on_arrival(_event) -> None:

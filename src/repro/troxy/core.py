@@ -321,16 +321,24 @@ class TroxyCore:
 
     # -- ecall: reply path ----------------------------------------------------------------
 
-    def authenticate_local_reply(self, request: Request, reply: Reply):
+    def authenticate_local_reply(self, request: Request, reply: Reply, fresh: bool = True):
         """Invalidate-and-authenticate for the local replica's reply
         (ecall #6). The invalidation happening *before* the
         authentication is what entangles cache maintenance with the
-        protocol (Section IV-B)."""
+        protocol (Section IV-B).
+
+        ``fresh`` is False when the replica re-emits a reply out of its
+        duplicate-suppression cache (client retransmission after a
+        failover). Replays carry the result from the request's original
+        execution position, so installing them would resurrect cache
+        entries that later writes already invalidated — a replayed read
+        therefore never (re-)installs. Invalidation stays unconditional:
+        it is idempotent and only ever conservative."""
         if not request.op.is_read:
             keys = self.keys_fn(request.op)
             yield from self.node.compute(self.profile.hash_cost(64) * max(1, len(keys)))
             self.cache.invalidate_keys(keys)
-        elif self.fast_reads:
+        elif self.fast_reads and fresh:
             # Install the local replica's result for this ordered read. A
             # faulty local replica can only poison *this* cache; the fast-
             # read path requires f+1 matching entries from distinct

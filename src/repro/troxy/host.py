@@ -70,6 +70,16 @@ class TroxyHost:
         self._stopped = True
         self.replica.stop()
 
+    def restart(self) -> None:
+        """Bring a crashed server back (fault-injection recovery path).
+
+        The co-located replica rejoins via state transfer; the Troxy
+        resumes pumping messages. Client TLS sessions installed in the
+        enclave survive unless the enclave itself was rebooted.
+        """
+        self._stopped = False
+        self.replica.restart()
+
     def install_client_session(self, client_id: str, endpoint: TlsEndpoint):
         """Process generator: hand a negotiated session key to the core."""
         yield from self.enclave.ecall(
@@ -148,10 +158,10 @@ class TroxyHost:
         action = yield from self.enclave.ecall("fast_read_timeout", nonce)
         yield from self._act(action)
 
-    def _local_reply_sink(self, request: Request, reply: Reply):
+    def _local_reply_sink(self, request: Request, reply: Reply, fresh: bool = True):
         """Installed as the co-located replica's reply sink."""
         action = yield from self.enclave.ecall(
-            "authenticate_local_reply", request, reply,
+            "authenticate_local_reply", request, reply, fresh,
             bytes_in=reply.wire_size,
         )
         yield from self._act(action)

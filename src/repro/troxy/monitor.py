@@ -34,6 +34,7 @@ class ConflictMonitor:
         probe_interval: int = 32,
         recovery_successes: int = 8,
         min_samples: int = 16,
+        count_misses: bool = False,
     ):
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1]: {threshold}")
@@ -44,6 +45,7 @@ class ConflictMonitor:
         self.probe_interval = probe_interval
         self.recovery_successes = recovery_successes
         self.min_samples = min_samples
+        self.count_misses = count_misses
         self.stats = MonitorStats()
         self._outcomes: deque[bool] = deque(maxlen=window)  # True = conflict
         self._total_order = False
@@ -89,9 +91,16 @@ class ConflictMonitor:
         self._consecutive_probe_successes = 0
 
     def record_miss(self) -> None:
-        """Cold miss: nothing cached. Not counted against the threshold —
-        a cold cache must not keep the switch latched."""
+        """Cold miss: nothing cached. By default not counted against the
+        threshold — a cold cache must not keep the switch latched. With
+        ``count_misses`` the miss *is* sampled: under sustained write
+        contention every read misses on a freshly invalidated entry, and
+        the paper's monitor reacts to the combined miss/conflict rate
+        (Section VI-C3)."""
         self.stats.misses += 1
+        if self.count_misses:
+            self._record(True)
+            self._consecutive_probe_successes = 0
 
     def _record(self, conflict: bool) -> None:
         self._outcomes.append(conflict)

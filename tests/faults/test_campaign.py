@@ -1,0 +1,96 @@
+"""Campaign runner: determinism, CLI, and scenario catalogue checks."""
+
+import json
+
+import pytest
+
+from repro.faults.__main__ import main
+from repro.faults.campaign import (
+    report_to_json,
+    resolve_scenarios,
+    run_campaign,
+    run_scenario,
+)
+from repro.faults.schedule import SCENARIOS, get_scenario, scenario_names
+
+
+def test_resolve_scenarios():
+    assert resolve_scenarios("all") == list(scenario_names())
+    assert resolve_scenarios("healthy_control, troxy_crash_failover") == [
+        "healthy_control",
+        "troxy_crash_failover",
+    ]
+    with pytest.raises(KeyError):
+        resolve_scenarios("no_such_scenario")
+
+
+def test_catalogue_is_well_formed():
+    for scenario in SCENARIOS.values():
+        assert scenario.description
+        assert scenario.paper_ref
+        assert scenario.horizon > 0
+        for event in scenario.schedule.events:
+            assert event.at < scenario.horizon
+
+
+def test_same_seed_reruns_are_byte_identical():
+    first = run_campaign(["healthy_control"], [0])
+    second = run_campaign(["healthy_control"], [0])
+    assert report_to_json(first) == report_to_json(second)
+
+
+def test_healthy_control_passes_all_invariants():
+    result = run_scenario(get_scenario("healthy_control"), 0)
+    assert result["ok"]
+    assert [inv["name"] for inv in result["invariants"]] == [
+        "linearizability",
+        "liveness",
+        "cache_freshness",
+        "counter_monotonicity",
+    ]
+    assert all(inv["ok"] for inv in result["invariants"])
+    assert result["stats"]["ops_completed"] > 0
+    assert result["fault_log"] == []
+
+
+def test_enclave_reboot_scenario_records_counter_snapshots():
+    result = run_scenario(get_scenario("enclave_reboot_rollback"), 0)
+    assert result["ok"]
+    assert result["stats"]["enclave_reboots"] == 2
+    assert [e["event"] for e in result["fault_log"]] == ["inject", "inject"]
+
+
+def test_cli_report_roundtrip(tmp_path, capsys):
+    report_path = tmp_path / "out.json"
+    code = main([
+        "--scenarios", "healthy_control", "--seeds", "1",
+        "--report", str(report_path),
+    ])
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["summary"] == {"total": 1, "passed": 1, "failed": []}
+    out = capsys.readouterr().out
+    assert "PASS" in out and "healthy_control" in out
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_replayed_reply_does_not_repoison_fast_read_cache():
+    """Regression: a client retransmission after tamper-induced failover
+    is answered from the replicas' duplicate-suppression cache; that
+    replayed read once re-installed its (by then overwritten) value into
+    the fast-read caches, and a later fast read served the stale value.
+    Replays must never install cache entries."""
+    result = run_scenario(get_scenario("host_tamper_replies"), 1)
+    assert result["ok"], [inv for inv in result["invariants"] if not inv["ok"]]
+
+
+@pytest.mark.slow
+def test_full_catalogue_seed0_green():
+    report = run_campaign(list(scenario_names()), [0])
+    assert report["summary"]["failed"] == []

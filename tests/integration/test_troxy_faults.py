@@ -1,17 +1,20 @@
 """Fault injection against the Troxy deployment (DESIGN.md section 5).
 
-Each test stages one of the paper's threat-model behaviours and checks
-the system reacts as Sections III-D, IV-B and VI-B prescribe.
+Each test stages one of the paper's threat-model behaviours through the
+:mod:`repro.faults` plane and checks the system reacts as Sections
+III-D, IV-B and VI-B prescribe.
 """
-
-import dataclasses
-
-import pytest
 
 from repro.apps.base import Payload
 from repro.apps.kvstore import KvStore, get, put
 from repro.bench.clusters import build_troxy
-from repro.hybster.secure import SecureEnvelope
+from repro.faults import (
+    EnclaveReboot,
+    FaultPlane,
+    HostTamper,
+    MessageLoss,
+    ReplicaCrash,
+)
 from repro.troxy.messages import CacheEntryReply
 
 
@@ -48,25 +51,12 @@ def test_untrusted_host_tampering_with_reply_detected_and_failed_over():
     replica mangles the sealed client reply. The client detects the
     corrupted channel, times out, and fails over to another Troxy."""
     cluster = build_troxy(seed=21, app_factory=KvStore)
-    original_send = cluster.net.send
-    tampered = []
-
-    def tampering_send(src, dst, payload, size=None, **kwargs):
-        if (
-            src == "replica-0"
-            and dst.startswith("client-machine")
-            and isinstance(payload, SecureEnvelope)
-        ):
-            body = payload.body
-            forged = dataclasses.replace(body, result=Payload(b"\xffforged"))
-            payload = SecureEnvelope(payload.record, forged)
-            tampered.append(dst)
-        return original_send(src, dst, payload, size, **kwargs)
-
-    cluster.net.send = tampering_send
+    plane = FaultPlane(cluster)
+    tamper = HostTamper("replica-0", forged_result=b"\xffforged", count=0)
+    plane.inject(tamper)
     client = cluster.new_client(contact_index=0, request_timeout=1.0)
     results = run_ops(cluster, client, [put("x", b"real"), get("x")], until=60.0)
-    assert tampered  # the attack actually ran
+    assert plane.rule_hits(tamper) >= 1  # the attack actually ran
     assert client.stats.invalid_replies >= 1  # corrupted channel detected
     assert client.stats.failovers >= 1
     assert [r.result.content for r in results] == [b"stored", b"real"]
@@ -76,10 +66,11 @@ def test_troxy_crash_triggers_client_failover():
     """Section III-D: a crashed Troxy is handled like any crashed server;
     the client reconnects elsewhere and retransmits."""
     cluster = build_troxy(seed=22, app_factory=KvStore)
+    plane = FaultPlane(cluster)
     client = cluster.new_client(contact_index=1, request_timeout=1.0)
     results = run_ops(cluster, client, [put("x", b"v1")])
     assert results[0].result.content == b"stored"
-    cluster.hosts[1].stop()  # crash the contact (a follower)
+    plane.inject(ReplicaCrash("replica-1"))  # crash the contact (a follower)
     results = run_ops(cluster, client, [get("x")], until=60.0)
     assert results[0].result.content == b"v1"
     assert client.stats.failovers >= 1
@@ -90,22 +81,15 @@ def test_stale_cache_reply_replay_rejected():
     query. The nonce binding makes it useless; the read still completes
     correctly (fallback path at worst)."""
     cluster = build_troxy(seed=23, app_factory=KvStore)
-    captured = []
-    original_send = cluster.net.send
-
-    def capturing_send(src, dst, payload, size=None, **kwargs):
-        if isinstance(payload, CacheEntryReply):
-            captured.append(payload)
-        return original_send(src, dst, payload, size, **kwargs)
-
-    cluster.net.send = capturing_send
+    plane = FaultPlane(cluster)
+    capture = plane.tap(payload_types=("CacheEntryReply",))
     client = cluster.new_client(contact_index=0)
     results = run_ops(
         cluster, client, [put("k", b"old"), get("k"), get("k")]
     )
     assert results[-1].result.content == b"old"
-    assert captured, "expected at least one cache-entry reply on the wire"
-    stale = captured[0]
+    assert capture.captured, "expected at least one cache-entry reply on the wire"
+    stale = capture.captured[0]
 
     # Write a new value, then replay the stale answer during the next read.
     results = run_ops(cluster, client, [put("k", b"new")])
@@ -156,15 +140,18 @@ def test_enclave_reboot_loses_cache_but_not_safety():
     cache (reads fall back to ordering) while the sealed trusted counters
     never regress, so ordering stays safe."""
     cluster = build_troxy(seed=25, app_factory=KvStore)
+    plane = FaultPlane(cluster)
     client = cluster.new_client(contact_index=0)
     run_ops(cluster, client, [put("k", b"v1"), get("k")])
     core = cluster.cores[0]
     assert len(core.cache) > 0
     counter_before = cluster.replicas[0].counters.current("order/0")
 
-    cluster.hosts[0].enclave.reboot()
+    plane.inject(EnclaveReboot("replica-0"))
     assert len(core.cache) == 0  # volatile state gone
     assert cluster.replicas[0].counters.current("order/0") == counter_before
+    # The plane snapshotted the sealed counters right before the reboot.
+    assert plane.counter_baselines["replica-0"][0]["order/0"] == counter_before
 
     # The client re-establishes its session (legacy reconnect behaviour)
     # and keeps working; reads are ordered again until the cache rewarms.
@@ -175,10 +162,11 @@ def test_enclave_reboot_loses_cache_but_not_safety():
 
 def test_leader_crash_in_troxy_mode_recovers_via_view_change():
     cluster = build_troxy(seed=26, app_factory=KvStore)
+    plane = FaultPlane(cluster)
     client = cluster.new_client(contact_index=1, request_timeout=2.0)
     results = run_ops(cluster, client, [put("x", b"before")])
     assert results[0].result.content == b"stored"
-    cluster.hosts[0].stop()  # replica-0 is the view-0 leader
+    plane.inject(ReplicaCrash("replica-0"))  # replica-0 is the view-0 leader
     results = run_ops(cluster, client, [put("y", b"after"), get("y")], until=90.0)
     assert [r.result.content for r in results] == [b"stored", b"after"]
     assert all(r.view >= 1 for r in cluster.replicas[1:])
@@ -188,19 +176,15 @@ def test_unresponsive_remote_troxy_times_out_to_ordering():
     """Performance attack: a remote Troxy that never answers cache
     queries only slows the read down to the ordered path."""
     cluster = build_troxy(seed=27, app_factory=KvStore, query_timeout=0.2)
+    plane = FaultPlane(cluster)
     client = cluster.new_client(contact_index=0)
     run_ops(cluster, client, [put("k", b"v"), get("k")])
-    # Drop all cache queries from replica-0 to the others.
-    original_send = cluster.net.send
-
-    def dropping_send(src, dst, payload, size=None, **kwargs):
-        from repro.troxy.messages import CacheQuery
-
-        if isinstance(payload, CacheQuery):
-            return None
-        return original_send(src, dst, payload, size, **kwargs)
-
-    cluster.net.send = dropping_send
+    # Black-hole all cache queries leaving replica-0.
+    blackhole = MessageLoss(
+        src="replica-0", payload_types=("CacheQuery",), probability=1.0
+    )
+    plane.inject(blackhole)
     results = run_ops(cluster, client, [get("k")])
     assert results[0].result.content == b"v"
     assert cluster.cores[0].stats.fast_read_timeouts >= 1
+    assert plane.rule_hits(blackhole) >= 1
