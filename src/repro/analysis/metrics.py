@@ -57,7 +57,7 @@ def percentile(sorted_values: list[float], q: float) -> float:
 
 
 class Collector:
-    """Accumulates samples; summarizes a [start, end] window."""
+    """Accumulates samples; summarizes a half-open [start, end) window."""
 
     def __init__(self):
         self.samples: list[Sample] = []
@@ -76,7 +76,13 @@ class Collector:
         )
 
     def window(self, start: float, end: float) -> list[Sample]:
-        return [s for s in self.samples if start <= s.completed_at <= end]
+        """Samples completing in the half-open interval [start, end).
+
+        Half-open so that adjacent windows partition the timeline: a
+        sample landing exactly on a boundary belongs to exactly one
+        window instead of being double-counted by both.
+        """
+        return [s for s in self.samples if start <= s.completed_at < end]
 
     def summarize(self, start: float, end: float) -> Summary:
         if end <= start:

@@ -115,6 +115,7 @@ def _run_system(
     fast_reads: bool = True,
     replica_cores: int = 2,
     request_distribution: str = "leader",
+    obs=None,
 ):
     """Build one deployment, drive it closed-loop, return (cluster, Summary).
 
@@ -122,6 +123,12 @@ def _run_system(
     saturation point down so the simulation reaches it with far fewer
     events. Every compared system is scaled identically, so throughput
     *ratios* — the reproduced quantity — are unaffected.
+
+    ``obs`` accepts a :class:`repro.obs.ObsPlane` (duck-typed, so this
+    module needs no obs import): it is attached right after the cluster
+    is built — before clients connect, so session-installation ecalls
+    are observed too — and the clients are wrapped so every invocation
+    opens a root span.
     """
     app_factory = lambda: EchoService(reply_size=reply_size)  # noqa: E731
     if system == "bl":
@@ -129,6 +136,8 @@ def _run_system(
             seed=seed, app_factory=app_factory, wan=wan, client_nic=client_nic,
             replica_cores=replica_cores,
         )
+        if obs is not None:
+            obs.attach(cluster)
         clients = [
             cluster.new_client(
                 read_optimization=read_optimization,
@@ -147,9 +156,13 @@ def _run_system(
             fast_reads=fast_reads,
             replica_cores=replica_cores,
         )
+        if obs is not None:
+            obs.attach(cluster)
         clients = [cluster.new_client() for _ in range(n_clients)]
     else:
         raise ValueError(f"unknown system {system!r}")
+    if obs is not None:
+        clients = obs.wrap_clients(clients)
     loadgen = ClosedLoop(cluster.env, clients, op_source, Collector())
     loadgen.start()
     start = cluster.env.now

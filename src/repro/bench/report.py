@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-import os
+from pathlib import Path
 from typing import Iterable
 
 from .experiments import Point
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
 
 
 def format_throughput_series(title: str, points: Iterable[Point], x_label: str = "size") -> str:
@@ -71,6 +71,5 @@ def ratio(points: list[Point], system_a: str, system_b: str, x) -> float:
 def save_and_print(name: str, text: str) -> None:
     """Print the table and persist it under benchmarks/results/."""
     print("\n" + text + "\n")
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
-        fh.write(text + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

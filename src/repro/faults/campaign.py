@@ -55,8 +55,14 @@ def _workload_driver(env, client, spec: WorkloadSpec, rng, state: DriverState):
     state.done = True
 
 
-def run_scenario(scenario: Scenario, seed: int) -> dict:
-    """Run one scenario at one seed; returns a JSON-serialisable result."""
+def run_scenario(scenario: Scenario, seed: int, registry=None) -> dict:
+    """Run one scenario at one seed; returns a JSON-serialisable result.
+
+    ``registry`` optionally accepts a :class:`repro.obs.Registry`
+    (duck-typed — no obs import here): campaign outcomes are emitted as
+    ``chaos_*`` counters so chaos results land in the same exports as
+    the performance metrics.
+    """
     rng_tree = RngTree(seed)
     cluster = build_troxy(
         seed=seed, app_factory=KvStore, **scenario.build_kwargs()
@@ -128,12 +134,35 @@ def run_scenario(scenario: Scenario, seed: int) -> dict:
         + sum(plane._retired_hits.values()),
     }
 
+    ok = all(r.ok for r in invariants)
+    if registry is not None:
+        registry.counter(
+            "chaos_runs_total", "Chaos scenario executions",
+            scenario=scenario.name,
+        ).inc()
+        if not ok:
+            registry.counter(
+                "chaos_failed_runs_total", "Chaos runs with a violated invariant",
+                scenario=scenario.name,
+            ).inc()
+        for result in invariants:
+            if not result.ok:
+                registry.counter(
+                    "chaos_invariant_violations_total", "Invariant violations",
+                    scenario=scenario.name,
+                    invariant=result.as_dict()["name"],
+                ).inc()
+        registry.counter(
+            "chaos_ops_total", "Workload operations completed under chaos",
+            scenario=scenario.name,
+        ).inc(stats["ops_completed"])
+
     return {
         "scenario": scenario.name,
         "seed": seed,
         "paper_ref": scenario.paper_ref,
         "horizon": scenario.horizon,
-        "ok": all(r.ok for r in invariants),
+        "ok": ok,
         "invariants": [r.as_dict() for r in invariants],
         "stats": stats,
         "fault_log": plane.log,
@@ -150,13 +179,13 @@ def resolve_scenarios(spec: str) -> list[str]:
     return names
 
 
-def run_campaign(names: list[str], seeds: list[int]) -> dict:
+def run_campaign(names: list[str], seeds: list[int], registry=None) -> dict:
     """Run every (scenario, seed) pair and aggregate a report."""
     results = []
     for name in names:
         scenario = get_scenario(name)
         for seed in seeds:
-            results.append(run_scenario(scenario, seed))
+            results.append(run_scenario(scenario, seed, registry=registry))
     failed = [
         {"scenario": r["scenario"], "seed": r["seed"]}
         for r in results

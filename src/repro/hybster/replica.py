@@ -150,6 +150,9 @@ class Replica:
         # offered to the filter first; returning False swallows it
         # (models a mute/selectively-deaf replica without touching links).
         self.dispatch_filter: Optional[Callable[[object], bool]] = None
+        # Optional observability plane (repro.obs): spans around
+        # ordering and execution, commit events, certify attribution.
+        self.obs = None
 
         # Trusted-subsystem entry points (three of Hybster's boundary
         # crossings); each certify pays the crossing plus one MAC.
@@ -374,36 +377,48 @@ class Replica:
     def _order(self, request: Request):
         if not self.is_leader:
             return
-        # The trusted order counter is a single monotonic resource:
-        # serialize slot assignment + certification (Hybster does too).
-        yield self._order_lock.request()
+        span = None
+        if self.obs is not None:
+            span = self.obs.order_begin(self, request)
+        seq = -1
         try:
-            if not self.is_leader:
-                return
-            seq = self.next_seq
-            self.next_seq += 1
-            request_digest = request.digest()
-            content = Order.content_digest(self.view, seq, request_digest)
-            # Counter certification crosses the trusted boundary (JNI/SGX).
-            cert = yield from self.boundary.ecall(
-                "certify_order",
-                self._order_counter(self.view),
-                seq,
-                content,
-                bytes_in=DIGEST_SIZE,
-                bytes_out=80,
-            )
+            # The trusted order counter is a single monotonic resource:
+            # serialize slot assignment + certification (Hybster does too).
+            yield self._order_lock.request()
+            try:
+                if not self.is_leader:
+                    return
+                seq = self.next_seq
+                self.next_seq += 1
+                request_digest = request.digest()
+                content = Order.content_digest(self.view, seq, request_digest)
+                if self.obs is not None:
+                    self.obs.certify_scope(self.node.name, request)
+                # Counter certification crosses the trusted boundary (JNI/SGX).
+                cert = yield from self.boundary.ecall(
+                    "certify_order",
+                    self._order_counter(self.view),
+                    seq,
+                    content,
+                    bytes_in=DIGEST_SIZE,
+                    bytes_out=80,
+                )
+            finally:
+                if self.obs is not None:
+                    self.obs.certify_scope_end(self.node.name)
+                self._order_lock.release()
+            order = Order(self.view, seq, request, cert, self.replica_id)
+            entry = self.log.setdefault(seq, LogEntry())
+            entry.order = order
+            entry.commit_senders[self.replica_id] = cert  # the ORDER is the leader's commit
+            yield from self.node.compute(self._tx_cost(order.wire_size))
+            self._broadcast(order, trace=f"seq={seq}")
+            self.stats.orders_sent += 1
+            self._note_progress_needed()
+            self._maybe_committed(seq)
         finally:
-            self._order_lock.release()
-        order = Order(self.view, seq, request, cert, self.replica_id)
-        entry = self.log.setdefault(seq, LogEntry())
-        entry.order = order
-        entry.commit_senders[self.replica_id] = cert  # the ORDER is the leader's commit
-        yield from self.node.compute(self._tx_cost(order.wire_size))
-        self._broadcast(order, trace=f"seq={seq}")
-        self.stats.orders_sent += 1
-        self._note_progress_needed()
-        self._maybe_committed(seq)
+            if span is not None:
+                self.obs.order_end(span, seq)
 
     # -- ordering: follower -------------------------------------------------------------------
 
@@ -492,6 +507,11 @@ class Replica:
         if len(entry.commit_senders) >= self.config.commit_quorum:
             entry.committed = True
             self.tracer.record(self.env.now, "proto.commit", self.replica_id, f"seq={seq}")
+            if (
+                self.obs is not None
+                and entry.order.request.client_id != NOOP_REQUEST_CLIENT
+            ):
+                self.obs.order_committed(self, entry.order.request, seq)
             self._exec_signal.put(seq)
 
     # -- execution ----------------------------------------------------------------------------
@@ -515,23 +535,30 @@ class Replica:
         entry.executed = True
         request = entry.order.request
         if request.client_id != NOOP_REQUEST_CLIENT:
-            yield from self.node.compute(self.app.execution_cost(request.op))
-            result = self.app.execute(request.op)
-            reply = Reply(
-                replica_id=self.replica_id,
-                client_id=request.client_id,
-                request_id=request.request_id,
-                result=result,
-                request_digest=request.digest(),
-                view=self.view,
-            )
-            self._executed_requests[request.client_id] = request.request_id
-            self._last_reply[request.client_id] = reply
-            self._inflight.discard((request.client_id, request.request_id))
-            self.stats.executions += 1
-            self.tracer.record(self.env.now, "proto.execute", self.replica_id,
-                               f"seq={seq} client={request.client_id} rid={request.request_id}")
-            yield from self._emit_reply(request, reply)
+            span = None
+            if self.obs is not None:
+                span = self.obs.execute_begin(self, request, seq)
+            try:
+                yield from self.node.compute(self.app.execution_cost(request.op))
+                result = self.app.execute(request.op)
+                reply = Reply(
+                    replica_id=self.replica_id,
+                    client_id=request.client_id,
+                    request_id=request.request_id,
+                    result=result,
+                    request_digest=request.digest(),
+                    view=self.view,
+                )
+                self._executed_requests[request.client_id] = request.request_id
+                self._last_reply[request.client_id] = reply
+                self._inflight.discard((request.client_id, request.request_id))
+                self.stats.executions += 1
+                self.tracer.record(self.env.now, "proto.execute", self.replica_id,
+                                   f"seq={seq} client={request.client_id} rid={request.request_id}")
+                yield from self._emit_reply(request, reply)
+            finally:
+                if span is not None:
+                    self.obs.execute_end(span)
         self._progress_made()
         if seq % self.config.checkpoint_interval == 0:
             yield from self._emit_checkpoint(seq)

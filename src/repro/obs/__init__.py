@@ -1,0 +1,41 @@
+"""repro.obs — unified metrics/span/trace observability layer.
+
+One coherent instrumentation plane for the whole stack: a
+:class:`~repro.obs.registry.Registry` of labeled counters, gauges and
+histograms, a :class:`~repro.obs.spans.SpanRecorder` of hierarchical
+sim-time spans that follow one request end-to-end (legacy client →
+Troxy host → ecall boundary → Hybster ordering → execution → reply
+voting → fast-read cache), and deterministic exporters
+(:mod:`repro.obs.export`): JSONL, Prometheus text format, and Chrome
+trace-event JSON loadable in Perfetto.
+
+Wiring happens through :class:`~repro.obs.probes.ObsPlane`, which
+attaches to a running cluster using the hooks the layers already expose
+(enclave ecall observation, network send filters, conflict-monitor
+switch hooks, replica/core emission points) — the protocol logic is
+never forked, and an attached plane schedules **no** simulation events,
+so observed and unobserved runs are event-for-event identical.
+
+All timestamps are simulated time; two same-seed runs produce
+byte-identical exports. ``python -m repro.obs`` runs a workload and
+dumps a full report.
+"""
+
+from .export import chrome_trace, metrics_jsonl, prometheus_text, write_report
+from .probes import ObsPlane
+from .registry import Counter, Gauge, Histogram, Registry
+from .spans import Span, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ObsPlane",
+    "Registry",
+    "Span",
+    "SpanRecorder",
+    "chrome_trace",
+    "metrics_jsonl",
+    "prometheus_text",
+    "write_report",
+]

@@ -1,0 +1,419 @@
+"""ObsPlane: attach one registry + span recorder to a running cluster.
+
+The plane wires itself in through hooks the layers already expose — the
+optional ``obs`` attribute on :class:`~repro.sgx.enclave.Enclave`,
+:class:`~repro.troxy.host.TroxyHost`, :class:`~repro.troxy.core.TroxyCore`
+and :class:`~repro.hybster.replica.Replica`, the conflict monitor's
+``switch_hooks``, and a network send filter. The instrumented modules
+never import this package; they call duck-typed ``obs.*`` methods only
+when a plane was attached, so the dependency points strictly upward.
+
+Non-perturbation guarantee: the plane schedules **zero** simulation
+events and consumes no randomness. Every probe runs synchronously
+inside an already-executing process and only appends to plain-Python
+metric/span state, so a run with an ObsPlane attached is event-for-event
+identical to the same run without one.
+
+Span taxonomy (one tree per request, trace id ``client#request_id``):
+
+========================  =============================================
+``client.invoke``          legacy/BFT client call, root of the tree
+``troxy.host``             untrusted host handling one inbound message
+``enclave.ecall:<name>``   one enclave boundary crossing
+``troxy.cache``            fast-read cache check (Fig. 4 check_cache)
+``troxy.fast_read``        instant event: hit / conflict / timeout
+``hybster.order``          leader slot assignment + certification
+``hybster.commit``         instant event: slot reached commit quorum
+``hybster.execute``        state-machine execution of the request
+``troxy.vote``             one reply vote at the convergence Troxy
+``monitor.switch``         instant event: adaptive mode switch
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .registry import Registry
+from .spans import Span, SpanRecorder, trace_key
+
+
+def _maybe_trace(message) -> Optional[str]:
+    """Trace id of anything carrying client_id/request_id, else None."""
+    client_id = getattr(message, "client_id", None)
+    request_id = getattr(message, "request_id", None)
+    if client_id is None or request_id is None:
+        return None
+    return f"{client_id}#{request_id}"
+
+
+class _ObservedClient:
+    """Transparent client proxy that records one span per invocation.
+
+    Mirrors the ``_RecordingClient`` idiom from :mod:`repro.analysis.history`
+    but adds no timeouts and schedules nothing: it only brackets the
+    delegate's ``invoke`` generator with span/metric updates.
+    """
+
+    def __init__(self, plane: "ObsPlane", client):
+        self._plane = plane
+        self._client = client
+
+    def __getattr__(self, name):
+        return getattr(self._client, name)
+
+    def invoke(self, op):
+        return self._plane._observed_invoke(self._client, op)
+
+
+class ObsPlane:
+    """One observability plane: a registry, a span recorder, probes."""
+
+    def __init__(self, registry: Optional[Registry] = None,
+                 spans: Optional[SpanRecorder] = None):
+        self.registry = registry or Registry()
+        self.spans = spans or SpanRecorder()
+        self.cluster = None
+        self._env = None
+        self._core_by_enclave: dict[int, object] = {}
+        # Trace currently being certified per node (set only while the
+        # leader holds the order lock, so at most one per node).
+        self._certify_trace: dict[str, str] = {}
+        # The (leader's) order span per trace: execution on every replica
+        # is parented here even though it runs on other nodes after the
+        # order span closed.
+        self._order_span: dict[str, Span] = {}
+
+    # -- attachment -----------------------------------------------------------
+
+    def attach(self, cluster) -> "ObsPlane":
+        """Install probes on every layer of a built cluster.
+
+        Works for any cluster shape from :mod:`repro.bench.clusters`;
+        sections that a deployment lacks (no Troxy hosts on the
+        baseline) are simply skipped.
+        """
+        self.cluster = cluster
+        self._env = cluster.env
+        for replica in getattr(cluster, "replicas", ()):
+            replica.obs = self
+            replica.boundary.obs = self
+        for host in getattr(cluster, "hosts", ()):
+            host.obs = self
+            host.core.obs = self
+            host.enclave.obs = self
+            self._core_by_enclave[id(host.enclave)] = host.core
+            host.core.monitor.switch_hooks.append(
+                self._make_monitor_hook(host.replica_id)
+            )
+        net = getattr(cluster, "net", None)
+        if net is not None:
+            net.add_send_filter(self._net_tap)
+        return self
+
+    def wrap_clients(self, clients) -> list:
+        """Wrap clients so each ``invoke`` opens the root span."""
+        return [_ObservedClient(self, c) for c in clients]
+
+    @property
+    def now(self) -> float:
+        return self._env.now if self._env is not None else 0.0
+
+    # -- client ----------------------------------------------------------------
+
+    def _observed_invoke(self, client, op):
+        # The delegate assigns request ids sequentially at invoke start.
+        request_id = getattr(client, "_request_id", 0) + 1
+        trace = f"{client.client_id}#{request_id}"
+        node = getattr(client, "node", None) or client.machine.node
+        span = self.spans.begin(
+            "client.invoke", self.now, trace_id=trace, node=node.name,
+            client=client.client_id, op=op.name, read=op.is_read,
+        )
+        self.registry.counter(
+            "client_invocations_total", "Client operations started",
+            node=node.name,
+        ).inc()
+        result = yield from client.invoke(op)
+        self._end(span, retries=result.retries)
+        self.registry.histogram(
+            "client_latency_seconds", "End-to-end client latency",
+            node=node.name,
+        ).observe(result.latency)
+        return result
+
+    # -- enclave boundary ---------------------------------------------------------
+
+    def ecall_begin(self, enclave, name: str, args, bytes_in: int, bytes_out: int):
+        trace = None
+        for arg in args:
+            trace = _maybe_trace(arg)
+            if trace is None:
+                body = getattr(arg, "body", None)  # SecureEnvelope
+                trace = _maybe_trace(body) if body is not None else None
+            if trace is None:
+                nonce = getattr(arg, "nonce", None)  # CacheEntryReply
+                if nonce is not None:
+                    core = self._core_by_enclave.get(id(enclave))
+                    state = core._fast_reads.get(nonce) if core is not None else None
+                    if state is not None:
+                        trace = trace_key(state.client_request)
+            if trace is not None:
+                break
+        if trace is None:
+            # Certify ecalls carry only (counter, value, digest); while
+            # the leader certifies an ORDER we know whose request it is.
+            trace = self._certify_trace.get(enclave.node.name)
+        self.registry.counter(
+            "ecall_transitions_total", "Enclave boundary crossings",
+            node=enclave.node.name, enclave=enclave.name, ecall=name,
+        ).inc()
+        return self.spans.begin(
+            f"enclave.ecall:{name}", self.now, trace_id=trace,
+            node=enclave.node.name, enclave=enclave.name,
+            bytes_in=bytes_in, bytes_out=bytes_out,
+        )
+
+    def ecall_end(self, span: Span) -> None:
+        if not self._end(span):
+            return
+        self.registry.histogram(
+            "ecall_seconds", "Sim-time spent inside one ecall",
+            node=span.node, ecall=span.name.split(":", 1)[1],
+        ).observe(span.duration)
+
+    # -- troxy host -----------------------------------------------------------------
+
+    def host_begin(self, host, payload, src: str):
+        trace = _maybe_trace(payload)
+        if trace is None:
+            body = getattr(payload, "body", None)
+            trace = _maybe_trace(body) if body is not None else None
+        attrs = {"type": type(payload).__name__, "src": src}
+        nonce = getattr(payload, "nonce", None)
+        if trace is None and nonce is not None:
+            state = host.core._fast_reads.get(nonce)
+            if state is not None:
+                trace = trace_key(state.client_request)
+            else:
+                attrs["nonce"] = nonce
+        self.registry.counter(
+            "troxy_host_messages_total", "Messages pumped by the untrusted host",
+            node=host.node.name, type=type(payload).__name__,
+        ).inc()
+        return self.spans.begin(
+            "troxy.host", self.now, trace_id=trace, node=host.node.name, **attrs
+        )
+
+    def host_end(self, span: Span) -> None:
+        self._end(span)
+
+    # -- troxy core: fast reads & voting ------------------------------------------------
+
+    def cache_begin(self, core, client_request):
+        return self.spans.begin(
+            "troxy.cache", self.now, trace_id=trace_key(client_request),
+            node=core.node.name,
+        )
+
+    def cache_end(self, span: Span, outcome: str) -> None:
+        if not self._end(span, outcome=outcome):
+            return
+        self.registry.counter(
+            "cache_lookups_total", "Fast-read cache checks",
+            node=span.node, outcome=outcome,
+        ).inc()
+
+    def fast_read_result(self, core, client_request, outcome: str) -> None:
+        """Terminal fast-read verdict: hit, conflict, or timeout."""
+        self.spans.event(
+            "troxy.fast_read", self.now, trace_id=trace_key(client_request),
+            node=core.node.name, outcome=outcome,
+        )
+        self.registry.counter(
+            "fast_read_results_total", "Fast-read protocol outcomes",
+            node=core.node.name, outcome=outcome,
+        ).inc()
+
+    def vote_begin(self, core, reply):
+        return self.spans.begin(
+            "troxy.vote", self.now, trace_id=_maybe_trace(reply),
+            node=core.node.name, voter=reply.replica_id,
+        )
+
+    def vote_end(self, span: Span, outcome: str) -> None:
+        if not self._end(span, outcome=outcome):
+            return
+        self.registry.counter(
+            "votes_total", "Reply votes processed by the server-side voter",
+            node=span.node, outcome=outcome,
+        ).inc()
+
+    # -- hybster ordering & execution ------------------------------------------------------
+
+    def order_begin(self, replica, request):
+        trace = _maybe_trace(request)
+        span = self.spans.begin(
+            "hybster.order", self.now, trace_id=trace, node=replica.node.name,
+        )
+        if trace is not None:
+            self._order_span[trace] = span
+        return span
+
+    def order_end(self, span: Span, seq: int) -> None:
+        if not self._end(span, seq=seq):
+            return
+        self.registry.counter(
+            "orders_total", "Slots assigned by the leader", node=span.node,
+        ).inc()
+
+    def certify_scope(self, node_name: str, request) -> None:
+        """Leader is about to certify ``request``'s slot on this node."""
+        trace = _maybe_trace(request)
+        if trace is not None:
+            self._certify_trace[node_name] = trace
+
+    def certify_scope_end(self, node_name: str) -> None:
+        self._certify_trace.pop(node_name, None)
+
+    def order_committed(self, replica, request, seq: int) -> None:
+        self.spans.event(
+            "hybster.commit", self.now, trace_id=_maybe_trace(request),
+            node=replica.node.name, seq=seq,
+        )
+        self.registry.counter(
+            "commits_total", "Slots that reached commit quorum",
+            node=replica.node.name,
+        ).inc()
+
+    def execute_begin(self, replica, request, seq: int):
+        trace = _maybe_trace(request)
+        parent = self._order_span.get(trace) if trace is not None else None
+        if parent is not None:
+            return self.spans.begin(
+                "hybster.execute", self.now, trace_id=trace,
+                node=replica.node.name, parent=parent, seq=seq,
+            )
+        return self.spans.begin(
+            "hybster.execute", self.now, trace_id=trace,
+            node=replica.node.name, seq=seq,
+        )
+
+    def execute_end(self, span: Span) -> None:
+        if not self._end(span):
+            return
+        self.registry.counter(
+            "executions_total", "Requests executed by the state machine",
+            node=span.node,
+        ).inc()
+
+    # -- monitor & network -----------------------------------------------------------------
+
+    def _make_monitor_hook(self, replica_id: str):
+        def hook(mode: str) -> None:
+            self.spans.event(
+                "monitor.switch", self.now, node=replica_id, mode=mode
+            )
+            self.registry.counter(
+                "monitor_mode_switches_total", "Adaptive total-order switches",
+                node=replica_id, mode=mode,
+            ).inc()
+
+        return hook
+
+    def _net_tap(self, attempt) -> None:
+        labels = {
+            "src": attempt.src,
+            "dst": attempt.dst,
+            "type": type(attempt.payload).__name__,
+        }
+        self.registry.counter(
+            "net_messages_total", "Messages offered to the network", **labels
+        ).inc()
+        self.registry.counter(
+            "net_bytes_total", "Payload bytes offered to the network", **labels
+        ).inc(attempt.size)
+
+    # -- snapshots & lifecycle -----------------------------------------------------------------
+
+    def _mirror(self, prefix: str, stats, **labels) -> None:
+        """Copy every field of a stats dataclass into gauges."""
+        for f in dataclasses.fields(stats):
+            self.registry.gauge(f"{prefix}_{f.name}", **labels).set(
+                getattr(stats, f.name)
+            )
+
+    def snapshot(self) -> None:
+        """Mirror the layers' own stats counters into gauges.
+
+        These gauges match ``EnclaveStats`` / ``MonitorStats`` / … by
+        construction — they *are* those values at snapshot time — which
+        is what ties the obs exports to the pre-existing counters.
+        """
+        cluster = self.cluster
+        if cluster is None:
+            return
+        for replica in getattr(cluster, "replicas", ()):
+            self._mirror("replica", replica.stats, node=replica.replica_id)
+            self._mirror(
+                "enclave", replica.boundary.stats,
+                node=replica.replica_id, enclave=replica.boundary.name,
+            )
+        for host in getattr(cluster, "hosts", ()):
+            node = host.replica_id
+            self._mirror("troxy", host.core.stats, node=node)
+            self._mirror("cache", host.core.cache.stats, node=node)
+            self._mirror("monitor", host.core.monitor.stats, node=node)
+            self._mirror(
+                "enclave", host.enclave.stats, node=node, enclave=host.enclave.name
+            )
+            self.registry.gauge("monitor_total_order_mode", node=node).set(
+                int(host.core.monitor.total_order_mode)
+            )
+        net = getattr(cluster, "net", None)
+        if net is not None:
+            self.registry.gauge(
+                "net_messages_sent", "Transfers accepted by the network"
+            ).set(net.messages_sent)
+            self.registry.gauge("net_bytes_sent").set(net.bytes_sent)
+        env = self._env
+        if env is not None:
+            self.registry.gauge("sim_now_seconds", "Simulated clock").set(env.now)
+            self.registry.gauge(
+                "sim_events_scheduled", "Events ever pushed on the schedule"
+            ).set(env.scheduled_events)
+            self.registry.gauge(
+                "sim_steps", "Scheduler steps processed"
+            ).set(env.steps)
+
+    def finalize(self) -> int:
+        """End-of-run: close in-flight spans and snapshot all stats.
+
+        Returns the number of spans that were still open (requests in
+        flight when the simulation horizon was reached).
+        """
+        unfinished = self.spans.finish(self.now)
+        self.registry.gauge(
+            "spans_unfinished", "Spans still open at the end of the run"
+        ).set(unfinished)
+        self.snapshot()
+        return unfinished
+
+    # -- internal ---------------------------------------------------------------------------------
+
+    def _end(self, span: Span, **attrs) -> bool:
+        """Close a span idempotently.
+
+        ``*_end`` probes sit in ``finally`` blocks, which also run when a
+        half-finished process generator is torn down after the horizon —
+        by then :meth:`finalize` already force-closed the span.
+        """
+        if span.end is not None:
+            return False
+        self.spans.end(span, self.now, **attrs)
+        self.registry.histogram(
+            "phase_seconds", "Sim-time per protocol phase (span name)",
+            phase=span.name,
+        ).observe(span.duration)
+        return True

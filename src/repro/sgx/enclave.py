@@ -103,6 +103,9 @@ class Enclave:
         # used by the fault-injection plane to attribute enclave activity
         # per scenario without wrapping the interface table.
         self.ecall_taps: list[Callable[[str], None]] = []
+        # Optional observability plane (repro.obs); when attached it sees
+        # the full ecall arguments and brackets each crossing with a span.
+        self.obs = None
 
     # -- interface table -----------------------------------------------------
 
@@ -137,12 +140,19 @@ class Enclave:
         self.stats.ecalls += 1
         self.stats.bytes_copied_in += bytes_in
         self.stats.bytes_copied_out += bytes_out
-        cost = self.costs.cost(bytes_in, bytes_out)
-        if cost > 0:
-            yield from self.node.compute(cost)
-        result = fn(*args)
-        if hasattr(result, "__next__"):
-            result = yield from result
+        span = None
+        if self.obs is not None:
+            span = self.obs.ecall_begin(self, name, args, bytes_in, bytes_out)
+        try:
+            cost = self.costs.cost(bytes_in, bytes_out)
+            if cost > 0:
+                yield from self.node.compute(cost)
+            result = fn(*args)
+            if hasattr(result, "__next__"):
+                result = yield from result
+        finally:
+            if span is not None:
+                self.obs.ecall_end(span)
         return result
 
     # -- memory / paging ------------------------------------------------------

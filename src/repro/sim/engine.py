@@ -332,12 +332,23 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._counter = 0
+        self._steps = 0
         self._active_process: Optional[Process] = None
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def steps(self) -> int:
+        """Scheduler steps processed so far (observability counter)."""
+        return self._steps
+
+    @property
+    def scheduled_events(self) -> int:
+        """Events ever pushed onto the schedule (observability counter)."""
+        return self._counter
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -379,6 +390,7 @@ class Environment:
         if time < self._now:
             raise SimulationError("scheduler time went backwards")
         self._now = time
+        self._steps += 1
         if event.callbacks is None:
             return
         callbacks, event.callbacks = event.callbacks, None

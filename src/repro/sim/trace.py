@@ -7,6 +7,7 @@ message-flow benchmark uses to count protocol phases.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
@@ -26,12 +27,31 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects trace records; disabled tracers drop everything."""
+    """Collects trace records; disabled tracers drop everything.
 
-    def __init__(self, enabled: bool = False, categories: Optional[set[str]] = None):
+    With ``max_records`` set the tracer becomes a ring buffer: once full,
+    each new record evicts the oldest one and ``dropped`` counts the
+    evictions, so a long soak run keeps the trace tail at bounded memory
+    instead of growing without limit.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        categories: Optional[set[str]] = None,
+        max_records: Optional[int] = None,
+    ):
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1: {max_records}")
         self.enabled = enabled
         self.categories = categories
-        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.dropped = 0
+        # A plain list when unbounded keeps equality with list literals
+        # working for callers; deque(maxlen=...) only when capped.
+        self.records: "list[TraceRecord] | deque[TraceRecord]" = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
 
     def record(
         self, time: float, category: str, node: str, detail: str, data: Any = None
@@ -40,6 +60,8 @@ class Tracer:
             return
         if self.categories is not None and category not in self.categories:
             return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
         self.records.append(TraceRecord(time, category, node, detail, data))
 
     def filter(

@@ -128,6 +128,9 @@ class TroxyCore:
         self.monitor = monitor or ConflictMonitor()
         self.keys_fn = keys_fn or (lambda op: (op.key,))
         self.stats = TroxyStats()
+        # Optional observability plane (repro.obs): cache/vote spans and
+        # fast-read outcome events.
+        self.obs = None
         self._sessions: dict[str, TlsEndpoint] = {}
         self._pending: dict[tuple[str, int], _Pending] = {}
         self._fast_reads: dict[int, _FastRead] = {}
@@ -210,36 +213,45 @@ class TroxyCore:
     def _try_fast_read(self, client_request: Request, bft_request: Request, client_machine: str):
         """Fig. 4, check_cache: local lookup then f remote probes."""
         self.stats.fast_read_attempts += 1
-        yield from self.node.compute(self.profile.hash_cost(bft_request.op.size))
-        cached = self.cache.get(self._cache_key(bft_request.op))
-        if cached is None:
-            self.monitor.record_miss()
-            return None  # cache miss: order as any other request
-        if self.cache.store_outside:
-            # The reply body lives encrypted in untrusted memory; validate
-            # it against the digest kept inside the enclave (Section V-A).
-            yield from self.node.compute(self.profile.hash_cost(cached.result.size))
-        else:
-            # Stored in enclave memory: touching it may page against the
-            # EPC limit.
-            yield from self.enclave.touch(cached.result.size)
-        nonce = next(self._nonces)
-        replicas = [r for r in self.config.replica_ids if r != self.replica_id]
-        chosen = self.rng.sample(replicas, self.config.f)
-        queries = []
-        request_digest = self._cache_key(bft_request.op)
-        for replica_id in chosen:
-            yield from self.node.compute(self.profile.mac_cost(DIGEST_SIZE))
-            tag = self._instance_key.sign(
-                CacheQuery.auth_input(request_digest, self.replica_id, nonce)
+        span = None
+        if self.obs is not None:
+            span = self.obs.cache_begin(self, client_request)
+        outcome = "miss"
+        try:
+            yield from self.node.compute(self.profile.hash_cost(bft_request.op.size))
+            cached = self.cache.get(self._cache_key(bft_request.op))
+            if cached is None:
+                self.monitor.record_miss()
+                return None  # cache miss: order as any other request
+            if self.cache.store_outside:
+                # The reply body lives encrypted in untrusted memory; validate
+                # it against the digest kept inside the enclave (Section V-A).
+                yield from self.node.compute(self.profile.hash_cost(cached.result.size))
+            else:
+                # Stored in enclave memory: touching it may page against the
+                # EPC limit.
+                yield from self.enclave.touch(cached.result.size)
+            nonce = next(self._nonces)
+            replicas = [r for r in self.config.replica_ids if r != self.replica_id]
+            chosen = self.rng.sample(replicas, self.config.f)
+            queries = []
+            request_digest = self._cache_key(bft_request.op)
+            for replica_id in chosen:
+                yield from self.node.compute(self.profile.mac_cost(DIGEST_SIZE))
+                tag = self._instance_key.sign(
+                    CacheQuery.auth_input(request_digest, self.replica_id, nonce)
+                )
+                queries.append(
+                    (replica_id, CacheQuery(request_digest, self.replica_id, nonce, tag))
+                )
+            self._fast_reads[nonce] = _FastRead(
+                client_request, bft_request, client_machine, cached, expected=set(chosen)
             )
-            queries.append(
-                (replica_id, CacheQuery(request_digest, self.replica_id, nonce, tag))
-            )
-        self._fast_reads[nonce] = _FastRead(
-            client_request, bft_request, client_machine, cached, expected=set(chosen)
-        )
-        return Action("query", queries=tuple(queries), nonce=nonce)
+            outcome = "probe"
+            return Action("query", queries=tuple(queries), nonce=nonce)
+        finally:
+            if span is not None:
+                self.obs.cache_end(span, outcome)
 
     # -- ecall: remote cache protocol ---------------------------------------------------
 
@@ -294,6 +306,8 @@ class TroxyCore:
             del self._fast_reads[answer.nonce]
             self.monitor.record_conflict()
             self.stats.fast_read_conflicts += 1
+            if self.obs is not None:
+                self.obs.fast_read_result(self, state.client_request, "conflict")
             # Entry may be outdated: drop it and order the read instead.
             self.cache.remove(self._cache_key(state.bft_request.op))
             return self._order(state.client_request, state.bft_request, state.client_machine)
@@ -303,6 +317,8 @@ class TroxyCore:
         del self._fast_reads[answer.nonce]
         self.monitor.record_fast_success()
         self.stats.fast_read_hits += 1
+        if self.obs is not None:
+            self.obs.fast_read_result(self, state.client_request, "hit")
         envelope = yield from self._seal_client_reply(
             state.client_request, state.local_reply.result, state.local_reply.request_digest
         )
@@ -317,6 +333,8 @@ class TroxyCore:
             return Action("wait")
         self.monitor.record_conflict()
         self.stats.fast_read_timeouts += 1
+        if self.obs is not None:
+            self.obs.fast_read_result(self, state.client_request, "timeout")
         return self._order(state.client_request, state.bft_request, state.client_machine)
 
     # -- ecall: reply path ----------------------------------------------------------------
@@ -381,32 +399,42 @@ class TroxyCore:
 
     def _vote(self, reply: Reply):
         """Count one authenticated vote (trusted-internal)."""
-        key = (reply.client_id, reply.request_id)
-        pending = self._pending.get(key)
-        if pending is None or pending.done:
-            return Action("wait")
-        pending.votes[reply.replica_id] = reply
-        matching = [
-            vote for vote in pending.votes.values() if vote.matches(reply)
-        ]
-        if len(matching) < self.config.reply_quorum:
-            return Action("wait")
-        pending.done = True
-        del self._pending[key]
-        self.stats.replies_voted += 1
-        if self.fast_reads and pending.bft_request.op.is_read:
-            # Install the *voted* ordered-read result.
-            self.cache.install(
-                self._cache_key(pending.bft_request.op),
-                reply,
-                self.keys_fn(pending.bft_request.op),
+        span = None
+        if self.obs is not None:
+            span = self.obs.vote_begin(self, reply)
+        outcome = "stale"
+        try:
+            key = (reply.client_id, reply.request_id)
+            pending = self._pending.get(key)
+            if pending is None or pending.done:
+                return Action("wait")
+            pending.votes[reply.replica_id] = reply
+            matching = [
+                vote for vote in pending.votes.values() if vote.matches(reply)
+            ]
+            if len(matching) < self.config.reply_quorum:
+                outcome = "wait"
+                return Action("wait")
+            outcome = "decided"
+            pending.done = True
+            del self._pending[key]
+            self.stats.replies_voted += 1
+            if self.fast_reads and pending.bft_request.op.is_read:
+                # Install the *voted* ordered-read result.
+                self.cache.install(
+                    self._cache_key(pending.bft_request.op),
+                    reply,
+                    self.keys_fn(pending.bft_request.op),
+                )
+            envelope = yield from self._seal_client_reply(
+                pending.client_request, reply.result, reply.request_digest
             )
-        envelope = yield from self._seal_client_reply(
-            pending.client_request, reply.result, reply.request_digest
-        )
-        if envelope is None:
-            return Action("drop", reason="no client session")
-        return Action("reply", dst=pending.client_machine, envelope=envelope)
+            if envelope is None:
+                return Action("drop", reason="no client session")
+            return Action("reply", dst=pending.client_machine, envelope=envelope)
+        finally:
+            if span is not None:
+                self.obs.vote_end(span, outcome)
 
     # -- helpers -------------------------------------------------------------------------------
 

@@ -55,6 +55,9 @@ class TroxyHost:
         self.core = core
         self.enclave = enclave
         self.query_timeout = query_timeout
+        # Optional observability plane (repro.obs): brackets each pumped
+        # message with a troxy.host span.
+        self.obs = None
         for name in TROXY_ECALLS:
             enclave.register_ecall(name, getattr(core, name))
         replica.reply_sink = self._local_reply_sink
@@ -98,6 +101,16 @@ class TroxyHost:
             )
 
     def _handle(self, payload, src: str):
+        span = None
+        if self.obs is not None:
+            span = self.obs.host_begin(self, payload, src)
+        try:
+            yield from self._handle_inner(payload, src)
+        finally:
+            if span is not None:
+                self.obs.host_end(span)
+
+    def _handle_inner(self, payload, src: str):
         if isinstance(payload, SecureEnvelope) and isinstance(payload.body, Request):
             action = yield from self.enclave.ecall(
                 "handle_client_envelope", payload, src,

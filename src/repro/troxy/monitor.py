@@ -47,6 +47,9 @@ class ConflictMonitor:
         self.min_samples = min_samples
         self.count_misses = count_misses
         self.stats = MonitorStats()
+        # Called with "total_order" / "fast_read" whenever the adaptive
+        # switch flips; observability and tests hook in here.
+        self.switch_hooks: list = []
         self._outcomes: deque[bool] = deque(maxlen=window)  # True = conflict
         self._total_order = False
         self._reads_since_probe = 0
@@ -83,6 +86,8 @@ class ConflictMonitor:
                 self._total_order = False
                 self.stats.switches_to_fast_read += 1
                 self._outcomes.clear()
+                for hook in self.switch_hooks:
+                    hook("fast_read")
 
     def record_conflict(self) -> None:
         """A fast read failed: remote mismatch or invalidated entry."""
@@ -113,3 +118,5 @@ class ConflictMonitor:
             self.stats.switches_to_total_order += 1
             self._reads_since_probe = 0
             self._consecutive_probe_successes = 0
+            for hook in self.switch_hooks:
+                hook("total_order")

@@ -17,6 +17,20 @@ def test_percentile_interpolates():
     assert percentile(values, 1.0) == 10.0
 
 
+def test_percentile_edge_quantiles():
+    assert percentile([], 0.0) == 0.0
+    assert percentile([], 1.0) == 0.0
+    values = [1.0, 2.0, 4.0, 8.0]
+    assert percentile(values, 0.0) == 1.0  # exact minimum
+    assert percentile(values, 1.0) == 8.0  # exact maximum
+
+
+def test_percentile_two_element_interpolation():
+    values = [2.0, 6.0]
+    assert percentile(values, 0.25) == pytest.approx(3.0)
+    assert percentile(values, 0.75) == pytest.approx(5.0)
+
+
 def test_collector_window_filtering():
     collector = Collector()
     collector.record(completed_at=1.0, latency=0.010)
@@ -26,6 +40,26 @@ def test_collector_window_filtering():
     assert summary.count == 2
     assert summary.throughput == pytest.approx(2 / 6.0)
     assert summary.mean_latency == pytest.approx(0.025)
+
+
+def test_window_is_half_open():
+    collector = Collector()
+    collector.record(completed_at=4.0, latency=0.01)  # on start: included
+    collector.record(completed_at=7.0, latency=0.01)
+    collector.record(completed_at=10.0, latency=0.01)  # on end: excluded
+    window = collector.window(4.0, 10.0)
+    assert [s.completed_at for s in window] == [4.0, 7.0]
+
+
+def test_adjacent_windows_partition_samples():
+    collector = Collector()
+    for t in (0.0, 1.0, 2.0, 3.0, 4.0):
+        collector.record(completed_at=t, latency=0.01)
+    first = collector.summarize(0.0, 2.0)
+    second = collector.summarize(2.0, 4.0)
+    # The boundary sample at t=2.0 lands in exactly one window.
+    assert first.count + second.count == 4
+    assert first.count == 2 and second.count == 2
 
 
 def test_summary_conflict_rate():

@@ -2,9 +2,17 @@
 
 import pytest
 
+from pathlib import Path
+
 from repro.analysis.metrics import Summary
 from repro.bench.experiments import Point
-from repro.bench.report import format_latency_series, format_throughput_series, ratio
+from repro.bench.report import (
+    RESULTS_DIR,
+    format_latency_series,
+    format_throughput_series,
+    ratio,
+    save_and_print,
+)
 
 
 def summary(throughput=100.0, latency=0.01):
@@ -51,3 +59,19 @@ def test_ratio_zero_denominator():
 def test_ratio_missing_point():
     with pytest.raises(StopIteration):
         ratio(points(), "etroxy", "bl", 9999)
+
+
+def test_results_dir_is_normalized_path():
+    assert isinstance(RESULTS_DIR, Path)
+    assert RESULTS_DIR.is_absolute()
+    assert ".." not in RESULTS_DIR.parts
+    assert RESULTS_DIR.parts[-2:] == ("benchmarks", "results")
+
+
+def test_save_and_print_writes_table(tmp_path, monkeypatch, capsys):
+    import repro.bench.report as report
+
+    monkeypatch.setattr(report, "RESULTS_DIR", tmp_path / "results")
+    save_and_print("demo", "a table")
+    assert "a table" in capsys.readouterr().out
+    assert (tmp_path / "results" / "demo.txt").read_text() == "a table\n"

@@ -90,6 +90,28 @@ def test_replayed_reply_does_not_repoison_fast_read_cache():
     assert result["ok"], [inv for inv in result["invariants"] if not inv["ok"]]
 
 
+def test_run_scenario_emits_chaos_metrics():
+    from repro.obs import Registry
+
+    registry = Registry()
+    result = run_scenario(get_scenario("healthy_control"), 0, registry=registry)
+    assert registry.value("chaos_runs_total", scenario="healthy_control") == 1
+    assert registry.value("chaos_failed_runs_total", scenario="healthy_control") == 0
+    assert (
+        registry.value("chaos_ops_total", scenario="healthy_control")
+        == result["stats"]["ops_completed"]
+    )
+    assert registry.total("chaos_invariant_violations_total") == 0
+
+
+def test_run_scenario_without_registry_unchanged():
+    with_reg = run_scenario(get_scenario("healthy_control"), 0, registry=None)
+    from repro.obs import Registry
+
+    again = run_scenario(get_scenario("healthy_control"), 0, registry=Registry())
+    assert report_to_json({"runs": [with_reg]}) == report_to_json({"runs": [again]})
+
+
 @pytest.mark.slow
 def test_full_catalogue_seed0_green():
     report = run_campaign(list(scenario_names()), [0])

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro.obs`` entry point."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+
+
+def test_cli_writes_reports_and_summary(tmp_path, capsys):
+    out = tmp_path / "report"
+    code = main([
+        "--out", str(out), "--seed", "5", "--clients", "2",
+        "--warmup", "0.01", "--duration", "0.03",
+    ])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "requests completed:" in text
+    assert "ecall transitions:" in text
+    for name in ("metrics.prom", "metrics.jsonl", "trace.json"):
+        assert (out / name).exists()
+    doc = json.loads((out / "trace.json").read_text())
+    assert doc["traceEvents"]
+
+
+def test_cli_format_subset(tmp_path):
+    out = tmp_path / "report"
+    assert main([
+        "--out", str(out), "--clients", "2", "--warmup", "0.01",
+        "--duration", "0.02", "--formats", "prometheus",
+    ]) == 0
+    assert (out / "metrics.prom").exists()
+    assert not (out / "trace.json").exists()
+
+
+def test_cli_rejects_unknown_format(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--out", str(tmp_path), "--formats", "protobuf"])

@@ -70,3 +70,44 @@ def test_tracer_dump_and_clear():
 def test_trace_record_str():
     record = TraceRecord(0.5, "cat", "node-1", "detail")
     assert "node-1" in str(record)
+
+
+def test_tracer_ring_buffer_drops_oldest():
+    tracer = Tracer(enabled=True, max_records=3)
+    for i in range(5):
+        tracer.record(float(i), "cat", "n", f"r{i}")
+    assert len(tracer.records) == 3
+    assert [r.detail for r in tracer.records] == ["r2", "r3", "r4"]
+    assert tracer.dropped == 2
+
+
+def test_tracer_ring_buffer_not_filled_drops_nothing():
+    tracer = Tracer(enabled=True, max_records=10)
+    tracer.record(0.0, "cat", "n", "only")
+    assert tracer.dropped == 0
+    assert len(tracer.records) == 1
+
+
+def test_tracer_unbounded_by_default():
+    tracer = Tracer(enabled=True)
+    assert tracer.max_records is None
+    assert tracer.records == []  # plain list, comparable to literals
+    for i in range(1000):
+        tracer.record(float(i), "cat", "n", "x")
+    assert len(tracer.records) == 1000
+    assert tracer.dropped == 0
+
+
+def test_tracer_ring_buffer_rejects_nonpositive_cap():
+    with pytest.raises(ValueError):
+        Tracer(max_records=0)
+
+
+def test_tracer_ring_buffer_filter_and_clear():
+    tracer = Tracer(enabled=True, max_records=2)
+    tracer.record(0.0, "a", "n", "x")
+    tracer.record(1.0, "b", "n", "y")
+    tracer.record(2.0, "a", "n", "z")
+    assert [r.detail for r in tracer.filter(category="a")] == ["z"]
+    tracer.clear()
+    assert len(tracer.records) == 0
