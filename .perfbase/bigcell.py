@@ -1,0 +1,12 @@
+import json, sys, time
+from repro.bench.experiments import _run_system, write_source
+t0 = time.time()
+cluster, summary = _run_system("etroxy", write_source(128), reply_size=10,
+                               n_clients=32, warmup=0.1, duration=0.25)
+wall = time.time() - t0
+out = {"wall_seconds": wall, "steps": cluster.env.steps,
+       "scheduled_events": cluster.env.scheduled_events,
+       "throughput": summary.throughput, "mean_latency": summary.mean_latency,
+       "count": summary.count}
+json.dump(out, open(sys.argv[1], "w"), indent=1)
+print(out)

@@ -1,0 +1,23 @@
+"""Capture full-precision figure summaries for before/after comparison."""
+import json, sys
+from repro.bench import experiments as E
+
+def s2d(p):
+    s = p.summary
+    return {"figure": p.figure, "system": p.system, "x": p.x,
+            "count": s.count, "throughput": repr(s.throughput),
+            "mean_latency": repr(s.mean_latency), "p50": repr(s.p50),
+            "p95": repr(s.p95), "p99": repr(s.p99),
+            "conflict_rate": repr(s.conflict_rate),
+            "extra": {k: repr(v) for k, v in (p.extra or {}).items()
+                      if k in ("conflict_rate",)}}
+
+cells = []
+cells += E.fig6_ordered_writes_local(sizes=(256,), n_clients=8, duration=0.06)
+cells += E.fig7_ordered_writes_wan(sizes=(1024,), n_clients=48, duration=0.4)
+cells += E.fig8_reads_local(reply_sizes=(1024,), n_clients=8, duration=0.06)
+cells += E.fig9_reads_wan(reply_sizes=(256,), n_clients=48, duration=0.4)
+cells += E.fig10_write_contention(n_clients=8, duration=0.1)
+cells += E.fig11_http_latency(n_clients=8, duration=0.4)
+json.dump([s2d(p) for p in cells], open(sys.argv[1], "w"), indent=1, sort_keys=True)
+print("wrote", sys.argv[1], len(cells), "cells")

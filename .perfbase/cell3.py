@@ -1,0 +1,24 @@
+"""Time the full profiled Fig. 6 cell (all 3 systems) for BENCH_sim_core."""
+import json, sys, time
+from repro.bench.experiments import _run_system, write_source
+
+out = {}
+for system in ("bl", "ctroxy", "etroxy"):
+    t0 = time.perf_counter()
+    cluster, summary = _run_system(system, write_source(128), reply_size=10,
+                                   n_clients=32, warmup=0.1, duration=0.25)
+    wall = time.perf_counter() - t0
+    out[system] = {
+        "wall_seconds": wall,
+        "steps": cluster.env.steps,
+        "scheduled_events": cluster.env.scheduled_events,
+        "throughput": summary.throughput,
+        "mean_latency": repr(summary.mean_latency),
+        "p50": repr(summary.p50), "p95": repr(summary.p95), "p99": repr(summary.p99),
+        "count": summary.count,
+    }
+    print(system, wall, flush=True)
+out["total_wall_seconds"] = sum(v["wall_seconds"] for v in out.values()
+                               if isinstance(v, dict))
+json.dump(out, open(sys.argv[1], "w"), indent=1)
+print("wrote", sys.argv[1])

@@ -1,0 +1,97 @@
+"""Time one representative cell of each figure; works on seed and new trees.
+
+Usage: PYTHONPATH=<tree>/src python figcells.py out.json
+"""
+import json
+import random
+import sys
+import time
+
+from repro.analysis.metrics import Collector
+from repro.apps.httpd import HttpPageService, get_operation, post_operation, seed_pages
+from repro.bench.clusters import WAN_DELAY, build_troxy
+from repro.bench.experiments import (
+    WAN_CLIENT_NIC,
+    _run_system,
+    mixed_source,
+    read_source,
+    write_source,
+)
+from repro.workloads.loadgen import PacedLoop
+
+out = {}
+
+
+def cell(name, fn):
+    t0 = time.perf_counter()
+    env = fn()
+    wall = time.perf_counter() - t0
+    out[name] = {
+        "wall_s": round(wall, 3),
+        "steps": env.steps,
+        "scheduled_events": env.scheduled_events,
+    }
+    print(name, out[name], flush=True)
+
+
+def fig6():
+    c, _ = _run_system("etroxy", write_source(256), reply_size=10,
+                       n_clients=8, warmup=0.1, duration=0.06)
+    return c.env
+
+
+def fig7():
+    c, _ = _run_system("etroxy", write_source(1024), reply_size=10,
+                       n_clients=48, warmup=1.5, duration=0.4,
+                       wan=WAN_DELAY, client_nic=WAN_CLIENT_NIC,
+                       request_distribution="all")
+    return c.env
+
+
+def fig8():
+    c, _ = _run_system("etroxy", read_source(), reply_size=1024,
+                       n_clients=8, warmup=0.1, duration=0.06)
+    return c.env
+
+
+def fig9():
+    c, _ = _run_system("etroxy", read_source(), reply_size=256,
+                       n_clients=48, warmup=1.5, duration=0.4,
+                       wan=WAN_DELAY, client_nic=WAN_CLIENT_NIC,
+                       request_distribution="all")
+    return c.env
+
+
+def fig10():
+    rng = random.Random(1234)
+    c, _ = _run_system("etroxy", mixed_source(0.01, rng, key_space=1),
+                       reply_size=4096, n_clients=8, warmup=0.15, duration=0.1)
+    return c.env
+
+
+def fig11():
+    cluster = build_troxy(seed=42, app_factory=HttpPageService,
+                          wan=WAN_DELAY, client_nic=WAN_CLIENT_NIC)
+    clients = [cluster.new_client() for _ in range(8)]
+    pages = sorted(seed_pages().keys())
+    rng = random.Random(7)
+
+    def source(i, seq):
+        page = pages[(i * 7 + seq) % len(pages)]
+        if rng.random() < 0.10:
+            return post_operation(page, b"p" * 200)
+        return get_operation(page, extra_payload=170)
+
+    loadgen = PacedLoop(cluster.env, clients, source, Collector(),
+                        rate_per_client=500.0 / 8)
+    loadgen.start()
+    cluster.env.run(until=cluster.env.now + 1.0 + 0.4)
+    return cluster.env
+
+
+for name, fn in [("fig6", fig6), ("fig7", fig7), ("fig8", fig8),
+                 ("fig9", fig9), ("fig10", fig10), ("fig11", fig11)]:
+    cell(name, fn)
+
+json.dump(out, open(sys.argv[1], "w"), indent=1)
+print("wrote", sys.argv[1])

@@ -1,0 +1,7 @@
+import sys, time
+from repro.bench.experiments import _run_system, write_source
+t0 = time.perf_counter()
+cluster, _ = _run_system(sys.argv[1], write_source(128), reply_size=10,
+                         n_clients=32, warmup=0.1, duration=0.25)
+print(sys.argv[1], "unprofiled_wall", round(time.perf_counter() - t0, 3),
+      "steps", cluster.env.steps, "events", cluster.env.scheduled_events)

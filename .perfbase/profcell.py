@@ -1,0 +1,15 @@
+"""Profile one system of the Fig. 6 acceptance cell; print wall + counters."""
+import cProfile, pstats, sys, time
+from repro.bench.experiments import _run_system, write_source
+
+system = sys.argv[1]
+prof = cProfile.Profile()
+t0 = time.perf_counter()
+prof.enable()
+cluster, summary = _run_system(system, write_source(128), reply_size=10,
+                               n_clients=32, warmup=0.1, duration=0.25)
+prof.disable()
+wall = time.perf_counter() - t0
+stats = pstats.Stats(prof)
+print(system, "profiled_wall", round(wall, 3), "steps", cluster.env.steps,
+      "events", cluster.env.scheduled_events, "calls", stats.total_calls)

@@ -1,0 +1,10 @@
+import cProfile, pstats, sys
+from repro.bench.experiments import _run_system, write_source
+system = sys.argv[1]
+prof = cProfile.Profile()
+prof.enable()
+_run_system(system, write_source(128), reply_size=10,
+            n_clients=32, warmup=0.1, duration=0.25)
+prof.disable()
+stats = pstats.Stats(prof)
+stats.sort_stats("tottime").print_stats(30)

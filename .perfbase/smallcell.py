@@ -1,0 +1,5 @@
+import sys, time
+from repro.bench.experiments import _run_system, write_source
+t0=time.perf_counter()
+cluster, summary = _run_system("etroxy", write_source(128), reply_size=10, n_clients=8, warmup=0.02, duration=0.05)
+print(sys.argv[1] if len(sys.argv)>1 else "", "wall", round(time.perf_counter()-t0,3), "steps", cluster.env.steps, "events", cluster.env.scheduled_events)

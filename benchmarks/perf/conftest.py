@@ -1,0 +1,8 @@
+"""Configuration for the perf-smoke suite.
+
+These tests gate on *deterministic* quantities only — scheduled-event
+and scheduler-step counts — never on wall-clock, so they are stable on
+shared CI runners. They are excluded from the default `pytest` run
+(testpaths covers only tests/); CI's perf-smoke job runs them with
+`pytest benchmarks/perf`.
+"""

@@ -1,0 +1,88 @@
+"""Event-churn budgets for the simulation hot path.
+
+Every cell below is a deterministic miniature of one figure workload:
+same seed, same topology, same client mix as the full run, scaled down
+to a few hundred thousand scheduler events. ``BUDGET`` records the
+``env.scheduled_events`` count measured when the hot-path overhaul
+landed; a regression of more than 10 % means some change re-introduced
+per-operation event churn (extra bridge events, split acquisitions,
+chatty handoffs) and should be treated like a failing correctness test
+— event counts, unlike wall-clock, do not vary across machines.
+
+A budget *undershoot* of more than 10 % is also flagged: events were
+eliminated, which changes same-time tiebreak order and will show up in
+the obs byte-diff gate. Re-baseline deliberately or fix the change.
+"""
+
+import pytest
+
+from repro.bench.experiments import _run_system, read_source, write_source
+
+#: (cell-id, system, op source, kwargs, scheduled-events budget)
+CELLS = [
+    (
+        "fig6-etroxy-128B-8c",
+        "etroxy",
+        write_source(128),
+        dict(reply_size=10, n_clients=8, warmup=0.02, duration=0.05),
+        199_373,
+    ),
+    (
+        "fig6-ctroxy-128B-8c",
+        "ctroxy",
+        write_source(128),
+        dict(reply_size=10, n_clients=8, warmup=0.02, duration=0.05),
+        206_334,
+    ),
+    (
+        "fig6-bl-128B-8c",
+        "bl",
+        write_source(128),
+        dict(reply_size=10, n_clients=8, warmup=0.02, duration=0.05),
+        226_230,
+    ),
+    (
+        "fig8-etroxy-1KiB-8c",
+        "etroxy",
+        read_source(),
+        dict(reply_size=1024, n_clients=8, warmup=0.02, duration=0.05),
+        78_639,
+    ),
+]
+
+TOLERANCE = 0.10
+
+
+@pytest.mark.parametrize(
+    "cell_id,system,source,kwargs,budget",
+    CELLS,
+    ids=[cell[0] for cell in CELLS],
+)
+def test_scheduled_events_within_budget(cell_id, system, source, kwargs, budget):
+    cluster, _summary = _run_system(system, source, **kwargs)
+    events = cluster.sim_stats["scheduled_events"]
+    assert events <= budget * (1 + TOLERANCE), (
+        f"{cell_id}: {events} scheduled events exceeds the recorded budget "
+        f"{budget} by more than {TOLERANCE:.0%} — the hot path regressed"
+    )
+    assert events >= budget * (1 - TOLERANCE), (
+        f"{cell_id}: {events} scheduled events undershoots the budget "
+        f"{budget} by more than {TOLERANCE:.0%} — events were eliminated; "
+        f"re-baseline deliberately (see module docstring)"
+    )
+
+
+def test_event_counts_are_deterministic():
+    """Two same-seed runs must agree exactly on both counters (the budget
+    gate above is only meaningful if counts are machine-independent)."""
+    def once():
+        cluster, _ = _run_system(
+            "etroxy", write_source(128), reply_size=10,
+            n_clients=4, warmup=0.01, duration=0.02,
+        )
+        stats = cluster.sim_stats
+        return stats["steps"], stats["scheduled_events"]
+
+    first, second = once(), once()
+    assert first == second
+    assert first[0] > 10_000  # the cell is big enough to be a real gate

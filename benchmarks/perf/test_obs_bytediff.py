@@ -1,0 +1,31 @@
+"""Same-seed observability exports must be byte-identical.
+
+This is the perf-smoke suite's semantic tripwire: the obs export embeds
+the ``sim_steps`` and ``sim_events_scheduled`` gauges and sim-time span
+boundaries for every request phase, so *any* optimization that merges,
+drops, or reorders scheduled events — even one that leaves throughput
+summaries intact — changes these bytes. Two in-process runs with the
+same seed must produce identical files for every export format.
+"""
+
+import filecmp
+
+from repro.obs.__main__ import run_workload
+from repro.obs.export import REPORT_FILES, write_report
+
+
+def _export(tmp_path, name):
+    plane, _summary = run_workload(seed=42, n_clients=4, warmup=0.02, duration=0.1)
+    out = tmp_path / name
+    written = write_report(out, plane.registry, plane.spans.spans, list(REPORT_FILES))
+    return out, written
+
+
+def test_same_seed_export_is_byte_identical(tmp_path):
+    first_dir, written = _export(tmp_path, "first")
+    second_dir, _ = _export(tmp_path, "second")
+    assert written  # at least one format exported
+    for fmt, path in written.items():
+        name = path.name
+        same = filecmp.cmp(first_dir / name, second_dir / name, shallow=False)
+        assert same, f"{fmt} export differs between two same-seed runs"

@@ -18,7 +18,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..crypto.primitives import digest_of
+from ..crypto.primitives import digest_of, intern_digest
 
 
 class OpKind(enum.Enum):
@@ -33,24 +33,29 @@ class Payload:
     content: bytes
     padded_size: int = 0
 
+    # Modelled on-the-wire size in bytes; precomputed at construction
+    # because cost models read it on every hop of every message.
+    size: int = field(init=False, compare=False, repr=False)
+
     def __post_init__(self):
         if self.padded_size and self.padded_size < len(self.content):
             raise ValueError(
                 f"padded_size {self.padded_size} smaller than content "
                 f"({len(self.content)} bytes)"
             )
-
-    @property
-    def size(self) -> int:
-        """Modelled on-the-wire size in bytes."""
-        return self.padded_size or len(self.content)
+        object.__setattr__(self, "size", self.padded_size or len(self.content))
 
     def digest(self) -> bytes:
-        cached = self.__dict__.get("_digest")
-        if cached is None:
-            cached = digest_of(self.content, self.size.to_bytes(8, "big"))
+        # Interned rather than per-instance: every replica materializes
+        # its own Payload for the same reply content, and voters hash
+        # all of them (see docs/PERFORMANCE.md). try/except cache: the
+        # hit path is a plain attribute load, no dict.get call.
+        try:
+            return self._digest
+        except AttributeError:
+            cached = intern_digest(self.content, self.size.to_bytes(8, "big"))
             object.__setattr__(self, "_digest", cached)
-        return cached
+            return cached
 
 
 EMPTY_PAYLOAD = Payload(b"", 0)
@@ -64,24 +69,25 @@ class Operation:
     name: str  # e.g. "get", "put", "echo"
     key: str = ""
     body: Payload = EMPTY_PAYLOAD
+    size: int = field(init=False, compare=False, repr=False)
+    is_read: bool = field(init=False, compare=False, repr=False)
 
-    @property
-    def size(self) -> int:
-        return len(self.name) + len(self.key) + self.body.size + 2
+    def __post_init__(self):
+        object.__setattr__(
+            self, "size", len(self.name) + len(self.key) + self.body.size + 2
+        )
+        object.__setattr__(self, "is_read", self.kind is OpKind.READ)
 
     def digest(self) -> bytes:
-        cached = self.__dict__.get("_digest")
-        if cached is None:
+        try:
+            return self._digest
+        except AttributeError:
             cached = digest_of(
                 self.kind.value.encode(), self.name.encode(), self.key.encode(),
                 self.body.digest(),
             )
             object.__setattr__(self, "_digest", cached)
         return cached
-
-    @property
-    def is_read(self) -> bool:
-        return self.kind is OpKind.READ
 
 
 class Application:

@@ -7,41 +7,63 @@ Usage::
     python -m repro.bench all             # everything (slow)
     REPRO_BENCH_SCALE=0.3 python -m repro.bench all   # quick pass
 
+    python -m repro.bench fig6 --json out/      # also write BENCH_fig6.json
+    python -m repro.bench fig6 --profile        # cProfile, sorted pstats
+
 Prints the paper-style series and writes them to benchmarks/results/.
+With ``--json DIR`` each experiment additionally emits ``BENCH_<name>.json``
+with one entry per measured cell: throughput, latency percentiles, host
+wall-clock, and the deterministic ``env.steps`` / ``env.scheduled_events``
+counters (the quantities the perf-smoke CI job budgets on).
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import dataclasses
+import io
+import json
+import pstats
 import sys
 import time
+from pathlib import Path
 
 from . import experiments
-from .report import format_latency_series, format_throughput_series, save_and_print
+from .report import (
+    format_latency_series,
+    format_throughput_series,
+    save_and_print,
+    save_bench_json,
+)
 
 
 def run_fig6():
     points = experiments.fig6_ordered_writes_local()
     save_and_print("fig6", format_throughput_series(
         "Fig. 6 — ordered writes, LAN (throughput vs request size)", points))
+    return points
 
 
 def run_fig7():
     points = experiments.fig7_ordered_writes_wan()
     save_and_print("fig7", format_throughput_series(
         "Fig. 7 — ordered writes, 100±20 ms WAN (throughput vs request size)", points))
+    return points
 
 
 def run_fig8():
     points = experiments.fig8_reads_local()
     save_and_print("fig8", format_throughput_series(
         "Fig. 8 — read-only workload, LAN (throughput vs reply size)", points))
+    return points
 
 
 def run_fig9():
     points = experiments.fig9_reads_wan()
     save_and_print("fig9", format_throughput_series(
         "Fig. 9 — read-only workload, 100±20 ms WAN (throughput vs reply size)", points))
+    return points
 
 
 def run_fig10():
@@ -53,12 +75,14 @@ def run_fig10():
             f"read conflicts {point.extra['conflict_rate'] * 100:5.1f}%"
         )
     save_and_print("fig10", "\n".join(lines))
+    return points
 
 
 def run_fig11():
     points = experiments.fig11_http_latency()
     save_and_print("fig11", format_latency_series(
         "Fig. 11 — HTTP service mean latency (GET/POST mix)", points))
+    return points
 
 
 def run_table1():
@@ -71,6 +95,7 @@ def run_table1():
         )
     lines.append("(consistency witnesses: run `pytest benchmarks/test_table1.py`)")
     save_and_print("table1", "\n".join(lines))
+    return rows
 
 
 RUNNERS = {
@@ -84,6 +109,41 @@ RUNNERS = {
 }
 
 
+def _write_json(name: str, result, json_dir: Path) -> None:
+    if name == "table1":
+        # Table I has no measured cells; persist the static rows as-is.
+        json_dir.mkdir(parents=True, exist_ok=True)
+        path = json_dir / "BENCH_table1.json"
+        payload = {"bench": "table1",
+                   "rows": [dataclasses.asdict(row) for row in result]}
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    else:
+        path = save_bench_json(name, result, json_dir)
+    print(f"[wrote {path}]", file=sys.stderr)
+
+
+def _run_profiled(name: str, runner, json_dir: Path | None):
+    """Run one experiment under cProfile and print the sorted hot list.
+
+    Profiling inflates wall-clock (per-call bookkeeping), so the
+    ``wall_s`` recorded in a profiled run is *not* comparable to an
+    unprofiled one — the deterministic event counters are.
+    """
+    profile = cProfile.Profile()
+    result = profile.runcall(runner)
+    stream = io.StringIO()
+    stats = pstats.Stats(profile, stream=stream)
+    stats.sort_stats("cumulative").print_stats(40)
+    stats.sort_stats("tottime").print_stats(25)
+    sys.stderr.write(stream.getvalue())
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+        dump = json_dir / f"BENCH_{name}.pstats"
+        profile.dump_stats(dump)
+        print(f"[wrote {dump}]", file=sys.stderr)
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -94,11 +154,26 @@ def main(argv=None) -> int:
         choices=sorted(RUNNERS) + ["all"],
         help="which experiments to run ('all' for every one)",
     )
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="also write BENCH_<experiment>.json files into DIR",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run each experiment under cProfile and print sorted pstats "
+             "to stderr (with --json, also dump BENCH_<experiment>.pstats)",
+    )
     args = parser.parse_args(argv)
+    json_dir = Path(args.json) if args.json is not None else None
     names = sorted(RUNNERS) if "all" in args.experiments else args.experiments
     for name in names:
         started = time.time()
-        RUNNERS[name]()
+        if args.profile:
+            result = _run_profiled(name, RUNNERS[name], json_dir)
+        else:
+            result = RUNNERS[name]()
+        if json_dir is not None:
+            _write_json(name, result, json_dir)
         print(f"[{name} finished in {time.time() - started:.0f}s]", file=sys.stderr)
     return 0
 

@@ -14,6 +14,7 @@ counts and measurement windows for quick runs; shapes are preserved.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -129,7 +130,12 @@ def _run_system(
     is built — before clients connect, so session-installation ecalls
     are observed too — and the clients are wrapped so every invocation
     opens a root span.
+
+    The returned cluster carries ``sim_stats`` — wall-clock seconds plus
+    the deterministic ``env.steps`` / ``env.scheduled_events`` counters —
+    for the ``--json`` benchmark emitter and the perf-smoke CI budgets.
     """
+    wall_start = time.perf_counter()
     app_factory = lambda: EchoService(reply_size=reply_size)  # noqa: E731
     if system == "bl":
         cluster = build_baseline(
@@ -168,6 +174,11 @@ def _run_system(
     start = cluster.env.now
     cluster.env.run(until=start + warmup + duration)
     summary = loadgen.collector.summarize(start + warmup, start + warmup + duration)
+    cluster.sim_stats = {
+        "wall_s": time.perf_counter() - wall_start,
+        "steps": cluster.env.steps,
+        "scheduled_events": cluster.env.scheduled_events,
+    }
     return cluster, summary
 
 
@@ -182,11 +193,12 @@ def fig6_ordered_writes_local(
     points = []
     for size in sizes:
         for system in ("bl", "ctroxy", "etroxy"):
-            _, summary = _run_system(
+            cluster, summary = _run_system(
                 system, write_source(size), reply_size=10,
                 n_clients=n_clients, warmup=0.1, duration=duration,
             )
-            points.append(Point("fig6", system, size, summary))
+            points.append(Point("fig6", system, size, summary,
+                                extra={"sim": cluster.sim_stats}))
     return points
 
 
@@ -204,13 +216,14 @@ def fig7_ordered_writes_wan(
     points = []
     for size in sizes:
         for system in ("bl", "etroxy"):
-            _, summary = _run_system(
+            cluster, summary = _run_system(
                 system, write_source(size), reply_size=10,
                 n_clients=n_clients, warmup=1.5, duration=duration,
                 wan=WAN_DELAY, client_nic=WAN_CLIENT_NIC,
                 request_distribution="all",
             )
-            points.append(Point("fig7", system, size, summary))
+            points.append(Point("fig7", system, size, summary,
+                                extra={"sim": cluster.sim_stats}))
     return points
 
 
@@ -226,11 +239,12 @@ def fig8_reads_local(
     points = []
     for reply_size in reply_sizes:
         for system in ("bl", "etroxy"):
-            _, summary = _run_system(
+            cluster, summary = _run_system(
                 system, read_source(), reply_size=reply_size,
                 n_clients=n_clients, warmup=0.1, duration=duration,
             )
-            points.append(Point("fig8", system, reply_size, summary))
+            points.append(Point("fig8", system, reply_size, summary,
+                                extra={"sim": cluster.sim_stats}))
     return points
 
 
@@ -247,13 +261,14 @@ def fig9_reads_wan(
     points = []
     for reply_size in reply_sizes:
         for system in ("bl", "etroxy"):
-            _, summary = _run_system(
+            cluster, summary = _run_system(
                 system, read_source(), reply_size=reply_size,
                 n_clients=n_clients, warmup=1.5, duration=duration,
                 wan=WAN_DELAY, client_nic=WAN_CLIENT_NIC,
                 request_distribution="all",
             )
-            points.append(Point("fig9", system, reply_size, summary))
+            points.append(Point("fig9", system, reply_size, summary,
+                                extra={"sim": cluster.sim_stats}))
     return points
 
 
@@ -299,7 +314,8 @@ def fig10_write_contention(
             conflict_rate = conflicts / attempts if attempts else 0.0
         points.append(
             Point("fig10", label, write_ratio, summary,
-                  extra={"conflict_rate": conflict_rate})
+                  extra={"conflict_rate": conflict_rate,
+                         "sim": cluster.sim_stats})
         )
 
     run("bl", "bl-read-opt")
@@ -348,6 +364,7 @@ def fig11_http_latency(
     for scenario, wan in scenarios:
         nic = WAN_CLIENT_NIC if wan is not None else None
         for system in ("jetty", "bl", "prophecy", "troxy"):
+            wall_start = time.perf_counter()
             if system == "jetty":
                 cluster = build_standalone(
                     seed=42, app_factory=HttpPageService, wan=wan, client_nic=nic
@@ -377,7 +394,13 @@ def fig11_http_latency(
             warmup = 1.0
             cluster.env.run(until=start + warmup + duration)
             summary = loadgen.collector.summarize(start + warmup, start + warmup + duration)
-            points.append(Point("fig11", system, scenario, summary))
+            sim_stats = {
+                "wall_s": time.perf_counter() - wall_start,
+                "steps": cluster.env.steps,
+                "scheduled_events": cluster.env.scheduled_events,
+            }
+            points.append(Point("fig11", system, scenario, summary,
+                                extra={"sim": sim_stats}))
     return points
 
 

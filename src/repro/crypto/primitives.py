@@ -31,6 +31,38 @@ def digest_of(*parts: bytes) -> bytes:
     return h.digest()
 
 
+# Interned-digest memo: protocol code frequently recomputes digest_of()
+# over identical immutable parts (every replica in a 2f+1 group hashes
+# the same ORDER content, every voter re-hashes the same reply). The
+# cache is bounded by wholesale clearing — entries are tiny and hit
+# rates are high, so an LRU's bookkeeping would cost more than it saves.
+_INTERNED_DIGESTS: dict = {}
+_INTERNED_DIGESTS_MAX = 1 << 16
+
+
+def intern_digest(*parts: bytes) -> bytes:
+    """Memoized :func:`digest_of` for immutable, hashable parts.
+
+    Returns the same bytes object for repeated calls with equal parts,
+    which also makes downstream equality checks and dict lookups cheap.
+    """
+    digest = _INTERNED_DIGESTS.get(parts)
+    if digest is None:
+        if len(_INTERNED_DIGESTS) >= _INTERNED_DIGESTS_MAX:
+            _INTERNED_DIGESTS.clear()
+        digest = _INTERNED_DIGESTS[parts] = digest_of(*parts)
+    return digest
+
+
+# Tag memo shared across MacKey instances, keyed by (secret, data).
+# Every node derives its own MacKey objects from the cluster master via
+# its own KeyRing, so a per-instance cache would never let a verifier
+# reuse the signer's computation; keying by the secret itself does,
+# while still computing a fresh HMAC for tampered data or forged keys.
+_TAG_CACHE: dict = {}
+_TAG_CACHE_MAX = 1 << 16
+
+
 @dataclass(frozen=True)
 class MacKey:
     """A symmetric HMAC-SHA256 key shared between principals."""
@@ -39,7 +71,15 @@ class MacKey:
     secret: bytes
 
     def sign(self, data: bytes) -> bytes:
-        return _hmac.new(self.secret, data, hashlib.sha256).digest()
+        key = (self.secret, data)
+        tag = _TAG_CACHE.get(key)
+        if tag is None:
+            if len(_TAG_CACHE) >= _TAG_CACHE_MAX:
+                _TAG_CACHE.clear()
+            # hmac.digest() takes the one-shot C fast path; equivalent to
+            # hmac.new(secret, data, sha256).digest().
+            tag = _TAG_CACHE[key] = _hmac.digest(self.secret, data, "sha256")
+        return tag
 
     def verify(self, data: bytes, tag: bytes) -> bool:
         return _hmac.compare_digest(self.sign(data), tag)
@@ -49,5 +89,5 @@ def derive_key(master: bytes, *labels: str) -> bytes:
     """Derive a sub-key from a master secret and a label path."""
     material = master
     for label in labels:
-        material = _hmac.new(material, label.encode("utf-8"), hashlib.sha256).digest()
+        material = _hmac.digest(material, label.encode("utf-8"), "sha256")
     return material

@@ -46,7 +46,12 @@ class ClusterConfig:
 
     @property
     def replica_ids(self) -> tuple[str, ...]:
-        return tuple(f"replica-{i}" for i in range(self.n))
+        try:
+            return self._replica_ids
+        except AttributeError:
+            cached = tuple(f"replica-{i}" for i in range(self.n))
+            object.__setattr__(self, "_replica_ids", cached)
+            return cached
 
     def leader_of(self, view: int) -> str:
         return self.replica_ids[view % self.n]

@@ -9,6 +9,13 @@ is committed once f+1 of the 2f+1 replicas have certified it.
 All messages expose ``auth_bytes()`` (the canonical byte string covered
 by MACs / counter certificates) and ``wire_size`` (modelled bytes on the
 wire, used by the network simulation).
+
+Messages are immutable, so every derived quantity is computed once:
+``wire_size`` is precomputed at construction (cost models read it on
+every hop), per-instance digests are cached on first use, and content
+digests go through :func:`repro.crypto.primitives.intern_digest` so the
+2f+1 replicas that each hash the same ORDER/COMMIT content share one
+SHA-256 evaluation (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..apps.base import Operation, Payload
-from ..crypto.primitives import DIGEST_SIZE, MAC_SIZE, digest_of
+from ..crypto.primitives import DIGEST_SIZE, MAC_SIZE, digest_of, intern_digest
 from ..sgx.counters import CounterCertificate
 
 _HEADER = 16  # type tag, lengths, framing
@@ -38,10 +45,20 @@ class Request:
     op: Operation
     origin: str
     unordered: bool = False
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "wire_size",
+            _HEADER + len(self.client_id) + 8 + self.op.size + len(self.origin),
+        )
 
     def digest(self) -> bytes:
-        cached = self.__dict__.get("_digest")
-        if cached is None:
+        # try/except cache: the hit path is a plain attribute load, which
+        # beats a dict.get call on every verify after the first.
+        try:
+            return self._digest
+        except AttributeError:
             cached = digest_of(
                 self.client_id.encode(),
                 self.request_id.to_bytes(8, "big"),
@@ -49,14 +66,15 @@ class Request:
                 b"u" if self.unordered else b"o",
             )
             object.__setattr__(self, "_digest", cached)
-        return cached
+            return cached
 
     def auth_bytes(self) -> bytes:
-        return b"REQ" + self.digest()
-
-    @property
-    def wire_size(self) -> int:
-        return _HEADER + len(self.client_id) + 8 + self.op.size + len(self.origin)
+        try:
+            return self._auth
+        except AttributeError:
+            cached = b"REQ" + self.digest()
+            object.__setattr__(self, "_auth", cached)
+            return cached
 
 
 @dataclass(frozen=True)
@@ -77,33 +95,9 @@ class Reply:
     request_digest: bytes
     view: int = 0
     troxy_tag: Optional[bytes] = None
+    wire_size: int = field(init=False, compare=False, repr=False)
 
-    def result_digest(self) -> bytes:
-        return self.result.digest()
-
-    def auth_bytes(self) -> bytes:
-        return b"|".join(
-            [
-                b"REPLY",
-                self.replica_id.encode(),
-                self.client_id.encode(),
-                self.request_id.to_bytes(8, "big"),
-                self.result_digest(),
-                self.request_digest,
-            ]
-        )
-
-    def matches(self, other: "Reply") -> bool:
-        """Vote equality: same request answered with the same result."""
-        return (
-            self.client_id == other.client_id
-            and self.request_id == other.request_id
-            and self.request_digest == other.request_digest
-            and self.result_digest() == other.result_digest()
-        )
-
-    @property
-    def wire_size(self) -> int:
+    def __post_init__(self):
         size = (
             _HEADER
             + len(self.replica_id)
@@ -114,7 +108,36 @@ class Reply:
         )
         if self.troxy_tag is not None:
             size += MAC_SIZE
-        return size
+        object.__setattr__(self, "wire_size", size)
+
+    def result_digest(self) -> bytes:
+        return self.result.digest()
+
+    def auth_bytes(self) -> bytes:
+        try:
+            return self._auth
+        except AttributeError:
+            cached = b"|".join(
+                [
+                    b"REPLY",
+                    self.replica_id.encode(),
+                    self.client_id.encode(),
+                    self.request_id.to_bytes(8, "big"),
+                    self.result_digest(),
+                    self.request_digest,
+                ]
+            )
+            object.__setattr__(self, "_auth", cached)
+            return cached
+
+    def matches(self, other: "Reply") -> bool:
+        """Vote equality: same request answered with the same result."""
+        return (
+            self.client_id == other.client_id
+            and self.request_id == other.request_id
+            and self.request_digest == other.request_digest
+            and self.result_digest() == other.result_digest()
+        )
 
 
 @dataclass(frozen=True)
@@ -123,13 +146,15 @@ class Forward:
 
     request: Request
     sender: str
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "wire_size", _HEADER + self.request.wire_size + len(self.sender)
+        )
 
     def auth_bytes(self) -> bytes:
         return b"FWD" + self.sender.encode() + self.request.digest()
-
-    @property
-    def wire_size(self) -> int:
-        return _HEADER + self.request.wire_size + len(self.sender)
 
 
 @dataclass(frozen=True)
@@ -145,19 +170,27 @@ class Order:
     request: Request
     cert: CounterCertificate
     sender: str
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "wire_size",
+            _HEADER + 16 + self.request.wire_size + self.cert.wire_size,
+        )
 
     @staticmethod
     def content_digest(view: int, seq: int, request_digest: bytes) -> bytes:
-        return digest_of(
+        return intern_digest(
             b"ORDER", view.to_bytes(8, "big"), seq.to_bytes(8, "big"), request_digest
         )
 
     def digest(self) -> bytes:
-        return self.content_digest(self.view, self.seq, self.request.digest())
-
-    @property
-    def wire_size(self) -> int:
-        return _HEADER + 16 + self.request.wire_size + self.cert.wire_size
+        try:
+            return self._digest
+        except AttributeError:
+            cached = self.content_digest(self.view, self.seq, self.request.digest())
+            object.__setattr__(self, "_digest", cached)
+            return cached
 
 
 @dataclass(frozen=True)
@@ -169,10 +202,16 @@ class Commit:
     request_digest: bytes
     cert: CounterCertificate
     sender: str
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "wire_size", _HEADER + 16 + DIGEST_SIZE + self.cert.wire_size
+        )
 
     @staticmethod
     def content_digest(view: int, seq: int, request_digest: bytes, sender: str) -> bytes:
-        return digest_of(
+        return intern_digest(
             b"COMMIT",
             view.to_bytes(8, "big"),
             seq.to_bytes(8, "big"),
@@ -181,11 +220,14 @@ class Commit:
         )
 
     def digest(self) -> bytes:
-        return self.content_digest(self.view, self.seq, self.request_digest, self.sender)
-
-    @property
-    def wire_size(self) -> int:
-        return _HEADER + 16 + DIGEST_SIZE + self.cert.wire_size
+        try:
+            return self._digest
+        except AttributeError:
+            cached = self.content_digest(
+                self.view, self.seq, self.request_digest, self.sender
+            )
+            object.__setattr__(self, "_digest", cached)
+            return cached
 
 
 @dataclass(frozen=True)
@@ -195,13 +237,13 @@ class Checkpoint:
     seq: int
     state_digest: bytes
     sender: str
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "wire_size", _HEADER + 8 + DIGEST_SIZE + len(self.sender))
 
     def auth_bytes(self) -> bytes:
         return b"CHKPT" + self.seq.to_bytes(8, "big") + self.state_digest + self.sender.encode()
-
-    @property
-    def wire_size(self) -> int:
-        return _HEADER + 8 + DIGEST_SIZE + len(self.sender)
 
 
 @dataclass(frozen=True)
@@ -351,7 +393,9 @@ class Tagged:
     msg: object
     sender: str
     tag: bytes
+    wire_size: int = field(init=False, compare=False, repr=False)
 
-    @property
-    def wire_size(self) -> int:
-        return self.msg.wire_size + MAC_SIZE  # type: ignore[attr-defined]
+    def __post_init__(self):
+        object.__setattr__(
+            self, "wire_size", self.msg.wire_size + MAC_SIZE  # type: ignore[attr-defined]
+        )

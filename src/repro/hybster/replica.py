@@ -30,7 +30,7 @@ from ..crypto.primitives import DIGEST_SIZE, digest_of
 from ..crypto.tls import TlsEndpoint, TlsError
 from ..sgx.counters import CounterCertificate, CounterError, TrustedCounterSubsystem
 from ..sgx.enclave import Enclave
-from ..sim.engine import Environment
+from ..sim.engine import Environment, Process
 from ..sim.network import Network, Node
 from ..sim.resources import Resource, Store
 from ..sim.trace import Tracer
@@ -138,6 +138,24 @@ class Replica:
         self._view_change_pending: Optional[int] = None
         self._progress_deadline: Optional[float] = None
         self._stopped = False
+        # Count of log entries with an installed order that are not yet
+        # executed; kept in sync by the order/execute/truncate paths so
+        # _progress_made() is O(1) instead of scanning the log.
+        self._unexec_ordered = 0
+
+        # Hot-path constants: every message charges serialize/hash/MAC
+        # costs, so the linear-model coefficients are pinned as locals of
+        # the instance instead of chasing profile attributes per call.
+        prof = self.profile
+        self._ser_base = prof.serialize.base
+        self._ser_per_byte = prof.serialize.per_byte
+        self._hash_base = prof.hash.base
+        self._hash_per_byte = prof.hash.per_byte
+        self._mac_cost_const = prof.mac.cost(DIGEST_SIZE)
+        self._peers = tuple(
+            rid for rid in config.replica_ids if rid != replica_id
+        )
+        self._handle_name = f"{replica_id}:handle"
 
         # Counters used by this replica. "order/<view>" is created lazily
         # per view by whoever becomes leader; "commit/<view>" likewise.
@@ -192,18 +210,20 @@ class Replica:
 
     def _rx_cost(self, size: int) -> float:
         """Deserialize + digest an incoming protocol message."""
-        return self.profile.serialize_cost(size) + self.profile.hash_cost(size)
+        return (self._ser_base + self._ser_per_byte * size) + (
+            self._hash_base + self._hash_per_byte * size
+        )
 
     def _tx_cost(self, size: int) -> float:
-        return self.profile.serialize_cost(size)
+        return self._ser_base + self._ser_per_byte * size
 
     def _mac_cost(self) -> float:
         """Verify/create one MAC over a fixed-size digest."""
-        return self.profile.mac_cost(DIGEST_SIZE)
+        return self._mac_cost_const
 
     def _trusted_certify(self, counter: str, value: int, digest: bytes):
         """Trusted-side body of the certify ecalls."""
-        yield from self.node.compute(self._mac_cost())
+        yield from self.node.compute(self._mac_cost_const)
         return self.counters.certify_at(counter, value, digest)
 
     # -- secure client channels (baseline deployment) ----------------------------
@@ -215,14 +235,14 @@ class Replica:
     # -- outbound -----------------------------------------------------------------
 
     def _send(self, dst: str, msg, trace: str = "") -> None:
-        self.tracer.record(self.env.now, "proto.send", self.replica_id,
-                           f"{type(msg).__name__}->{dst} {trace}")
+        if self.tracer.enabled:
+            self.tracer.record(self.env.now, "proto.send", self.replica_id,
+                               f"{type(msg).__name__}->{dst} {trace}")
         self.net.send(self.node.name, dst, msg)
 
     def _broadcast(self, msg, trace: str = "") -> None:
-        for rid in self.config.replica_ids:
-            if rid != self.replica_id:
-                self._send(rid, msg, trace)
+        for rid in self._peers:
+            self._send(rid, msg, trace)
 
     def _tagged(self, msg) -> Tagged:
         """Wrap with a troxy-group HMAC tag (checkpoint-class messages)."""
@@ -263,7 +283,7 @@ class Replica:
             return
         if self.dispatch_filter is not None and not self.dispatch_filter(payload):
             return
-        self.env.process(self._handle(payload), name=f"{self.replica_id}:handle")
+        Process(self.env, self._handle(payload), name=self._handle_name)
 
     def _handle(self, payload):
         if isinstance(payload, SecureEnvelope):
@@ -340,7 +360,7 @@ class Replica:
                 # fan out so every replica re-emits its cached reply to the
                 # request's current origin (needed for Troxy failover).
                 yield from self.node.compute(
-                    self._tx_cost(request.wire_size) + self._mac_cost()
+                    self._tx_cost(request.wire_size) + self._mac_cost_const
                 )
                 self._broadcast(self._tagged(Forward(request, self.replica_id)))
             return
@@ -352,7 +372,7 @@ class Replica:
             self._inflight.add((request.client_id, request.request_id))
             yield from self._order(request)
         elif relay:
-            yield from self.node.compute(self._tx_cost(request.wire_size) + self._mac_cost())
+            yield from self.node.compute(self._tx_cost(request.wire_size) + self._mac_cost_const)
             self._send(self.leader_id, self._tagged(Forward(request, self.replica_id)))
             self._note_progress_needed()
         else:
@@ -363,7 +383,7 @@ class Replica:
         if not isinstance(forward, Forward):
             self.stats.invalid_messages += 1
             return
-        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost_const)
         if not self._verify_tagged(tagged):
             self.stats.invalid_messages += 1
             return
@@ -409,10 +429,10 @@ class Replica:
                 self._order_lock.release()
             order = Order(self.view, seq, request, cert, self.replica_id)
             entry = self.log.setdefault(seq, LogEntry())
-            entry.order = order
+            self._install_order(entry, order)
             entry.commit_senders[self.replica_id] = cert  # the ORDER is the leader's commit
             yield from self.node.compute(self._tx_cost(order.wire_size))
-            self._broadcast(order, trace=f"seq={seq}")
+            self._broadcast(order, trace=f"seq={seq}" if self.tracer.enabled else "")
             self.stats.orders_sent += 1
             self._note_progress_needed()
             self._maybe_committed(seq)
@@ -423,7 +443,7 @@ class Replica:
     # -- ordering: follower -------------------------------------------------------------------
 
     def _handle_order(self, order: Order):
-        yield from self.node.compute(self._rx_cost(order.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._rx_cost(order.wire_size) + self._mac_cost_const)
         if order.view != self.view or self._view_change_pending is not None:
             return
         if order.seq < self.next_exec:
@@ -458,7 +478,7 @@ class Replica:
             yield  # pragma: no cover - generator marker
         entry = self.log.setdefault(order.seq, LogEntry())
         if entry.order is None:
-            entry.order = order
+            self._install_order(entry, order)
         entry.commit_senders[order.sender] = order.cert
         request_digest = order.request.digest()
         content = Commit.content_digest(order.view, order.seq, request_digest, self.replica_id)
@@ -473,13 +493,13 @@ class Replica:
         commit = Commit(order.view, order.seq, request_digest, cert, self.replica_id)
         entry.commit_senders[self.replica_id] = cert
         yield from self.node.compute(self._tx_cost(commit.wire_size))
-        self._broadcast(commit, trace=f"seq={order.seq}")
+        self._broadcast(commit, trace=f"seq={order.seq}" if self.tracer.enabled else "")
         self.stats.commits_sent += 1
         self._note_progress_needed()
         self._maybe_committed(order.seq)
 
     def _handle_commit(self, commit: Commit):
-        yield from self.node.compute(self._rx_cost(commit.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._rx_cost(commit.wire_size) + self._mac_cost_const)
         if commit.view != self.view or self._view_change_pending is not None:
             return
         if commit.seq < self.next_exec:
@@ -506,7 +526,8 @@ class Replica:
             return
         if len(entry.commit_senders) >= self.config.commit_quorum:
             entry.committed = True
-            self.tracer.record(self.env.now, "proto.commit", self.replica_id, f"seq={seq}")
+            if self.tracer.enabled:
+                self.tracer.record(self.env.now, "proto.commit", self.replica_id, f"seq={seq}")
             if (
                 self.obs is not None
                 and entry.order.request.client_id != NOOP_REQUEST_CLIENT
@@ -533,6 +554,7 @@ class Replica:
 
     def _execute_entry(self, seq: int, entry: LogEntry):
         entry.executed = True
+        self._unexec_ordered -= 1
         request = entry.order.request
         if request.client_id != NOOP_REQUEST_CLIENT:
             span = None
@@ -553,8 +575,9 @@ class Replica:
                 self._last_reply[request.client_id] = reply
                 self._inflight.discard((request.client_id, request.request_id))
                 self.stats.executions += 1
-                self.tracer.record(self.env.now, "proto.execute", self.replica_id,
-                                   f"seq={seq} client={request.client_id} rid={request.request_id}")
+                if self.tracer.enabled:
+                    self.tracer.record(self.env.now, "proto.execute", self.replica_id,
+                                       f"seq={seq} client={request.client_id} rid={request.request_id}")
                 yield from self._emit_reply(request, reply)
             finally:
                 if span is not None:
@@ -592,8 +615,9 @@ class Replica:
             return
         yield from self.node.compute(self.profile.aead_cost(reply.wire_size))
         envelope = seal_body(endpoint, reply)
-        self.tracer.record(self.env.now, "proto.send", self.replica_id,
-                           f"reply rid={reply.request_id} ->{request.origin}")
+        if self.tracer.enabled:
+            self.tracer.record(self.env.now, "proto.send", self.replica_id,
+                               f"reply rid={reply.request_id} ->{request.origin}")
         # Baseline replies ride the shared library connection to the
         # client machine (one client-side library process per machine).
         self.net.send(self.node.name, request.origin, envelope)
@@ -605,12 +629,12 @@ class Replica:
         state_digest = digest_of(seq.to_bytes(8, "big"), snapshot)
         checkpoint = Checkpoint(seq, state_digest, self.replica_id)
         self._note_checkpoint_vote(checkpoint, snapshot)
-        yield from self.node.compute(self._tx_cost(checkpoint.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._tx_cost(checkpoint.wire_size) + self._mac_cost_const)
         self._broadcast(self._tagged(checkpoint))
 
     def _handle_checkpoint(self, tagged: Tagged):
         checkpoint = tagged.msg
-        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost_const)
         if not self._verify_tagged(tagged):
             self.stats.invalid_messages += 1
             return
@@ -618,7 +642,7 @@ class Replica:
 
     def _handle_fetch_orders(self, tagged: Tagged):
         fetch = tagged.msg
-        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost_const)
         if not self._verify_tagged(tagged):
             self.stats.invalid_messages += 1
             return
@@ -639,12 +663,12 @@ class Replica:
         fetch = FetchOrders(
             self.view, self._next_order_intake, first_buffered - 1, self.replica_id
         )
-        yield from self.node.compute(self._tx_cost(fetch.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._tx_cost(fetch.wire_size) + self._mac_cost_const)
         self._send(self.leader_id, self._tagged(fetch))
 
     def _handle_state_request(self, tagged: Tagged):
         request = tagged.msg
-        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._rx_cost(tagged.wire_size) + self._mac_cost_const)
         if not self._verify_tagged(tagged):
             self.stats.invalid_messages += 1
             return
@@ -654,7 +678,7 @@ class Replica:
             self.stable_seq, self.stable_snapshot, self.next_exec - 1, self.replica_id
         )
         yield from self.node.compute(
-            self._tx_cost(response.wire_size) + self._mac_cost()
+            self._tx_cost(response.wire_size) + self._mac_cost_const
             + self.profile.hash_cost(len(response.snapshot))
         )
         self._send(tagged.sender, self._tagged(response), trace=f"state@{self.stable_seq}")
@@ -662,7 +686,7 @@ class Replica:
     def _handle_state_response(self, tagged: Tagged):
         response = tagged.msg
         yield from self.node.compute(
-            self._rx_cost(tagged.wire_size) + self._mac_cost()
+            self._rx_cost(tagged.wire_size) + self._mac_cost_const
             + self.profile.hash_cost(len(response.snapshot))
         )
         if not self._verify_tagged(tagged):
@@ -701,7 +725,7 @@ class Replica:
             fetch = FetchOrders(
                 self.view, self.next_exec, response.high_water, self.replica_id
             )
-            yield from self.node.compute(self._tx_cost(fetch.wire_size) + self._mac_cost())
+            yield from self.node.compute(self._tx_cost(fetch.wire_size) + self._mac_cost_const)
             self._broadcast(self._tagged(fetch))
 
     def _maybe_request_state(self, probe: bool = False):
@@ -716,7 +740,7 @@ class Replica:
         if entry is not None and entry.order is not None:
             return  # we still hold the next slot: normal path will run it
         request = StateRequest(self.next_exec - 1, self.replica_id)
-        yield from self.node.compute(self._tx_cost(request.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._tx_cost(request.wire_size) + self._mac_cost_const)
         self._broadcast(self._tagged(request))
 
     def restart(self) -> None:
@@ -761,21 +785,28 @@ class Replica:
         # replica catches up from its own log).
         cut = min(self.stable_seq, self.next_exec - 1)
         for seq in [s for s in self.log if s <= cut]:
-            del self.log[seq]
+            entry = self.log.pop(seq)
+            if entry.order is not None and not entry.executed:
+                self._unexec_ordered -= 1
         for seq in [s for s in self._checkpoint_votes if s < self.stable_seq]:
             del self._checkpoint_votes[seq]
 
     # -- progress monitoring & view change ----------------------------------------------------------
+
+    def _install_order(self, entry: LogEntry, order: Order) -> None:
+        """Install an order into a log slot, maintaining the backlog count."""
+        if entry.order is None and not entry.executed:
+            self._unexec_ordered += 1
+        entry.order = order
 
     def _note_progress_needed(self) -> None:
         if self._progress_deadline is None:
             self._progress_deadline = self.env.now + self.config.progress_timeout
 
     def _progress_made(self) -> None:
-        has_backlog = any(
-            not entry.executed for entry in self.log.values() if entry.order is not None
-        )
-        if has_backlog:
+        # O(1) equivalent of scanning the log for an entry with an
+        # installed order that has not executed yet.
+        if self._unexec_ordered > 0:
             self._progress_deadline = self.env.now + self.config.progress_timeout
         else:
             self._progress_deadline = None
@@ -835,7 +866,7 @@ class Replica:
         yield from self._maybe_install_view(new_view)
 
     def _handle_view_change(self, vc: ViewChange):
-        yield from self.node.compute(self._rx_cost(vc.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._rx_cost(vc.wire_size) + self._mac_cost_const)
         if vc.new_view <= self.view:
             return
         if not self.counters.verify(vc.cert):
@@ -909,7 +940,7 @@ class Replica:
             reproposals.append(order)
             if seq >= self.next_exec:
                 entry = self.log.setdefault(seq, LogEntry())
-                entry.order = order
+                self._install_order(entry, order)
                 entry.committed = False
                 entry.commit_senders = {self.replica_id: cert}
         content = NewView.content_digest(
@@ -935,7 +966,7 @@ class Replica:
         self._progress_made()
 
     def _handle_new_view(self, nv: NewView):
-        yield from self.node.compute(self._rx_cost(nv.wire_size) + self._mac_cost())
+        yield from self.node.compute(self._rx_cost(nv.wire_size) + self._mac_cost_const)
         if nv.view <= self.view:
             return
         if nv.sender != self.config.leader_of(nv.view):
@@ -964,6 +995,8 @@ class Replica:
         # re-proposals overwrite those slots.
         for seq, entry in list(self.log.items()):
             if not entry.executed and seq > self.stable_seq:
+                if entry.order is not None:
+                    self._unexec_ordered -= 1
                 entry.order = None
                 entry.committed = False
                 entry.commit_senders = {}

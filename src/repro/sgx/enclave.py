@@ -22,6 +22,7 @@ trusted subsystem calls.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -93,6 +94,12 @@ class Enclave:
         self.name = name
         self.measurement = sha256(code_identity.encode("utf-8"))
         self.costs = costs
+        # Boundary-cost scalars unpacked once: ecall() charges them on
+        # every crossing and attribute-chasing the frozen dataclass per
+        # call shows up in profiles (see docs/PERFORMANCE.md).
+        self._per_call = costs.per_call
+        self._copy_in_per_byte = costs.copy_in_per_byte
+        self._copy_out_per_byte = costs.copy_out_per_byte
         self.epc_bytes = epc_bytes
         self.paging_cost_per_page = paging_cost_per_page
         self.stats = EnclaveStats()
@@ -113,7 +120,10 @@ class Enclave:
         """Declare an entry point; mirrors the prototype's 16-ecall table."""
         if name in self._ecalls:
             raise ValueError(f"duplicate ecall {name!r}")
-        self._ecalls[name] = fn
+        # Whether the entry point does trusted compute (is a generator
+        # function) is static; deciding it here spares ecall() a hasattr
+        # probe on every crossing.
+        self._ecalls[name] = (fn, inspect.isgeneratorfunction(fn))
 
     @property
     def ecall_names(self) -> tuple[str, ...]:
@@ -132,27 +142,40 @@ class Enclave:
             result = yield from enclave.ecall("verify_reply", reply,
                                               bytes_in=reply.wire_size)
         """
-        fn = self._ecalls.get(name)
-        if fn is None:
+        entry = self._ecalls.get(name)
+        if entry is None:
             raise EnclaveViolation(f"no such ecall: {name!r}")
+        fn, isgen = entry
         for tap in self.ecall_taps:
             tap(name)
-        self.stats.ecalls += 1
-        self.stats.bytes_copied_in += bytes_in
-        self.stats.bytes_copied_out += bytes_out
-        span = None
-        if self.obs is not None:
-            span = self.obs.ecall_begin(self, name, args, bytes_in, bytes_out)
-        try:
-            cost = self.costs.cost(bytes_in, bytes_out)
+        stats = self.stats
+        stats.ecalls += 1
+        stats.bytes_copied_in += bytes_in
+        stats.bytes_copied_out += bytes_out
+        if bytes_in < 0 or bytes_out < 0:
+            raise ValueError("negative buffer size")
+        cost = (
+            self._per_call
+            + self._copy_in_per_byte * bytes_in
+            + self._copy_out_per_byte * bytes_out
+        )
+        if self.obs is None:
+            # Hot path: no span bracketing, no try/finally bookkeeping.
             if cost > 0:
                 yield from self.node.compute(cost)
             result = fn(*args)
-            if hasattr(result, "__next__"):
+            if isgen or hasattr(result, "__next__"):
+                result = yield from result
+            return result
+        span = self.obs.ecall_begin(self, name, args, bytes_in, bytes_out)
+        try:
+            if cost > 0:
+                yield from self.node.compute(cost)
+            result = fn(*args)
+            if isgen or hasattr(result, "__next__"):
                 result = yield from result
         finally:
-            if span is not None:
-                self.obs.ecall_end(span)
+            self.obs.ecall_end(span)
         return result
 
     # -- memory / paging ------------------------------------------------------

@@ -20,6 +20,23 @@ order (a monotonically increasing tiebreaker is part of the heap key), so
 two runs with the same seeds produce byte-identical traces. Nothing in the
 engine consults wall-clock time or global randomness.
 
+Hot-path design (see docs/PERFORMANCE.md)
+-----------------------------------------
+The scheduler is the single hottest code in the repository: a saturated
+Fig. 6 cell pushes and pops hundreds of thousands of heap entries per
+simulated second. Three rules keep it fast without changing semantics:
+
+* ``run()`` inlines the event-pop loop instead of calling :meth:`step`
+  per event (attribute loads and method dispatch dominate otherwise).
+* Internal wake-ups (already-processed targets, process initialization,
+  pre-processed condition children) use lightweight ``__slots__`` relay
+  objects instead of full :class:`Event` instances. A relay occupies
+  exactly the heap slot the old bridge event did — same schedule counter,
+  same priority — so event ordering (and therefore every simulated
+  result) is bit-for-bit unchanged.
+* ``Timeout`` writes its fields directly instead of chaining through
+  ``Event.__init__`` (roughly half of all scheduled events are timeouts).
+
 Example
 -------
 >>> env = Environment()
@@ -35,7 +52,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
+import gc as _gc
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
@@ -134,12 +152,36 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        # Flattened Event.__init__ + succeed(): timeouts are born
+        # triggered, and they are the single most allocated event type.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay=delay)
+        self._ok = True
+        self._triggered = True
+        self._defused = False
+        self.delay = delay
+        env._counter = counter = env._counter + 1
+        heappush(env._queue, (env._now + delay, 1, counter, self))
+
+
+class _Relay:
+    """Allocation-light heap entry that re-delivers a finished result.
+
+    Used where the engine used to allocate a bridge :class:`Event`: a
+    process (or condition) waiting on an *already-processed* target must
+    resume on the next scheduler step, in schedule order. A relay carries
+    just the four fields the scheduler loop touches and occupies exactly
+    the heap slot the bridge event occupied, so ordering is unchanged.
+    """
+
+    __slots__ = ("callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, ok: bool, value: Any):
+        self.callbacks: Optional[list] = []
+        self._value = value
+        self._ok = ok
+        self._defused = True
 
 
 class _Initialize(Event):
@@ -148,11 +190,14 @@ class _Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self._triggered = True
+        self.env = env
+        self.callbacks = [process._resume]
+        self._value = None
         self._ok = True
-        self.callbacks.append(process._resume)
-        env._schedule(self)
+        self._triggered = True
+        self._defused = False
+        env._counter = counter = env._counter + 1
+        heappush(env._queue, (env._now, 1, counter, self))
 
 
 class _Interruption(Event):
@@ -189,7 +234,14 @@ class Process(Event):
     __slots__ = ("_generator", "_target", "name")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
-        super().__init__(env)
+        # Flattened Event.__init__: one process is spawned per handled
+        # message, making this one of the hottest constructors.
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._defused = False
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
@@ -211,51 +263,58 @@ class Process(Event):
         if self._triggered:
             return
         # Detach from the event we were waiting on (interrupt case).
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target is not event:
+            if target.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume)
                 except ValueError:
                     pass
         self._target = None
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
         try:
             if event._ok:
-                next_target = self._generator.send(event._value)
+                next_target = generator.send(event._value)
             else:
                 event._defused = True
-                next_target = self._generator.throw(event._value)
+                next_target = generator.throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self._triggered = True
             self._ok = True
             self._value = stop.value
-            self.env._schedule(self)
+            env._counter = counter = env._counter + 1
+            heappush(env._queue, (env._now, 1, counter, self))
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self._triggered = True
             self._ok = False
             self._value = exc
-            self.env._schedule(self)
+            env._counter = counter = env._counter + 1
+            heappush(env._queue, (env._now, 1, counter, self))
             return
-        self.env._active_process = None
-        if not isinstance(next_target, Event):
+        env._active_process = None
+        callbacks = getattr(next_target, "callbacks", False)
+        if callbacks is False:
             raise SimulationError(
                 f"process {self.name!r} yielded {next_target!r}, expected an Event"
             )
-        self._target = next_target
-        if next_target.callbacks is None:
-            # Already processed: resume on the next scheduler step.
-            bridge = Event(self.env)
-            bridge._triggered = True
-            bridge._ok = next_target._ok
-            bridge._value = next_target._value
-            bridge._defused = True
-            bridge.callbacks.append(self._resume)
-            self.env._schedule(bridge)
+        if callbacks is None:
+            # Already processed: resume on the next scheduler step. The
+            # relay becomes our wait target so an interrupt arriving
+            # before it fires detaches us from it (and cannot leave a
+            # stale resume behind).
+            relay = _Relay(next_target._ok, next_target._value)
+            relay.callbacks.append(self._resume)
+            self._target = relay  # type: ignore[assignment]
+            env._counter = counter = env._counter + 1
+            heappush(env._queue, (env._now, 1, counter, relay))
         else:
-            next_target.callbacks.append(self._resume)
+            self._target = next_target
+            callbacks.append(self._resume)
 
 
 class Condition(Event):
@@ -273,13 +332,12 @@ class Condition(Event):
             if event.callbacks is None:
                 # Already processed: deliver on the next scheduler step so
                 # ordering stays deterministic.
-                bridge = Event(env)
-                bridge._triggered = True
-                bridge._ok = event._ok
-                bridge._value = event._value
-                bridge._defused = True
-                bridge.callbacks.append(lambda _b, e=event: self._on_child(e))
-                env._schedule(bridge)
+                relay = _Relay(event._ok, event._value)
+                relay.callbacks.append(
+                    lambda _r, e=event: self._on_child(e)
+                )
+                env._counter = counter = env._counter + 1
+                heappush(env._queue, (env._now, 1, counter, relay))
             else:
                 event.callbacks.append(self._on_child)
 
@@ -328,6 +386,11 @@ class AnyOf(Condition):
 class Environment:
     """The simulation clock and scheduler."""
 
+    # The engine and resource internals read/write these fields millions
+    # of times per simulated second; __slots__ turns every one of those
+    # instance-dict probes into a fixed-offset load.
+    __slots__ = ("_now", "_queue", "_counter", "_steps", "_active_process")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -361,7 +424,7 @@ class Environment:
     ) -> None:
         self._counter += 1
         priority = 0 if priority_boost else 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._counter, event))
+        heappush(self._queue, (self._now + delay, priority, self._counter, event))
 
     # -- event factories --------------------------------------------------
 
@@ -386,7 +449,7 @@ class Environment:
         """Process the next scheduled event."""
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
-        time, _priority, _tick, event = heapq.heappop(self._queue)
+        time, _priority, _tick, event = heappop(self._queue)
         if time < self._now:
             raise SimulationError("scheduler time went backwards")
         self._now = time
@@ -404,13 +467,62 @@ class Environment:
         return self._queue[0][0] if self._queue else float("inf")
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the schedule drains or simulated time reaches ``until``."""
+        """Run until the schedule drains or simulated time reaches ``until``.
+
+        This is :meth:`step` inlined into a tight loop — the hottest few
+        lines of the whole repository; keep it allocation-free.
+        """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                return
-            self.step()
+        queue = self._queue
+        pop = heappop
+        steps = self._steps
+        # Processed events drop their callback lists, which breaks the
+        # reference cycles events/processes form — the refcounter reclaims
+        # everything and the cycle collector finds no garbage. Pausing it
+        # for the duration of the run avoids periodic full-heap scans in
+        # the middle of the hot loop.
+        gc_was_enabled = _gc.isenabled()
+        if gc_was_enabled:
+            _gc.disable()
+        try:
+            if until is None:
+                while queue:
+                    time, _priority, _tick, event = pop(queue)
+                    if time < self._now:
+                        raise SimulationError("scheduler time went backwards")
+                    self._now = time
+                    steps += 1
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        continue
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            else:
+                while queue:
+                    time = queue[0][0]
+                    if time > until:
+                        self._now = until
+                        return
+                    time, _priority, _tick, event = pop(queue)
+                    if time < self._now:
+                        raise SimulationError("scheduler time went backwards")
+                    self._now = time
+                    steps += 1
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        continue
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+        finally:
+            self._steps = steps
+            if gc_was_enabled:
+                _gc.enable()
         if until is not None:
             self._now = until

@@ -20,7 +20,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from .engine import Environment
+from .engine import Environment, Timeout
 from .resources import Resource, Store
 from .rng import RngTree
 from .trace import Tracer
@@ -87,9 +87,14 @@ class NormalLatency(LatencyModel):
         return f"NormalLatency({self.mean}, {self.stddev})"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Message:
-    """Envelope delivered to a node's inbox."""
+    """Envelope delivered to a node's inbox.
+
+    Treated as immutable by convention; one is allocated per transfer,
+    so construction stays on the cheap slotted-dataclass path rather
+    than frozen's per-field ``object.__setattr__``.
+    """
 
     src: str
     dst: str
@@ -97,6 +102,11 @@ class Message:
     size: int
     sent_at: float
     msg_id: int
+    # FIFO stream identity, stamped by ``send`` when in-order delivery
+    # is on: the (src, dst, stream) key and this message's position in
+    # that stream. ``None`` means the message bypasses reordering.
+    stream_pair: Any = None
+    stream_seq: int = 0
 
 
 @dataclass
@@ -150,14 +160,35 @@ class Node:
         self.crashed = False
 
     def compute(self, seconds: float):
-        """Process generator: occupy one core for ``seconds``.
+        """Occupy one core for ``seconds``; use as ``yield from n.compute(s)``.
 
-        Zero-cost work skips the scheduler entirely.
+        Zero-cost work skips the scheduler entirely. Returns an iterable
+        rather than being a generator function itself so ``yield from``
+        delegates straight into the resource's generator — one less stack
+        frame on the hottest resume path in the simulator.
         """
         if seconds <= 0:
-            return
-            yield  # pragma: no cover - makes this a generator
-        yield from self.cpu.use(seconds)
+            return ()
+        return self.cpu.use(seconds)
+
+    def charge(self, *costs: float):
+        """Charge several deterministic CPU costs as one core occupancy.
+
+        The fast path for back-to-back cost charges (rx + MAC, transition
+        + hash, ...): components are summed and the core is held once, so
+        the whole charge is a single heap entry instead of one scheduler
+        round-trip per component. Only correct when the caller would have
+        charged the components consecutively with no observable action in
+        between — see docs/PERFORMANCE.md for the design rule.
+
+        Usage: ``yield from node.charge(rx_cost, mac_cost)``.
+        """
+        total = 0.0
+        for cost in costs:
+            total += cost
+        if total <= 0:
+            return ()
+        return self.cpu.use(total)
 
     def crash(self) -> None:
         """Silently drop all future inbound and outbound traffic."""
@@ -179,6 +210,35 @@ class _LinkState:
     extra_latency: Optional[LatencyModel] = None
 
 
+class _StreamRx:
+    """Receiver-side in-order delivery state for one (src, dst, stream)."""
+
+    __slots__ = ("next_seq", "buffer")
+
+    def __init__(self):
+        self.next_seq = 0
+        self.buffer: dict[int, Message] = {}
+
+
+class _Route:
+    """Per-(src, dst, stream) cache of everything the send path touches.
+
+    Built lazily on first use. Holds the endpoint nodes and their NIC
+    slot resources, the *shared, mutable* link fault state (``cut``/
+    ``heal``/``set_loss`` mutate the same ``_LinkState`` object in
+    place, so fault injection remains live), the latency model and the
+    per-pair rng, and the FIFO send-sequence counter. One dict lookup
+    per message replaces the half-dozen table probes of the naive path;
+    ``set_latency`` updates live routes and ``reset_streams`` drops
+    them, so nothing observable changes.
+    """
+
+    __slots__ = (
+        "sender", "receiver", "tx", "rx", "tx_nic", "rx_nic",
+        "state", "model", "rng", "pair", "send_seq",
+    )
+
+
 class Network:
     """Connects nodes; owns latency models and link fault state."""
 
@@ -197,10 +257,8 @@ class Network:
         # In-order delivery per (src, dst) pair, as TCP provides for all
         # client/replica connections in the paper's testbed.
         self.fifo_delivery = fifo_delivery
-        self._stream_send_seq: dict[tuple, int] = {}
-        self._stream_next: dict[tuple, int] = {}
-        self._stream_buffer: dict[tuple, dict[int, Message]] = {}
-        self._stream_seq_of: dict[int, tuple] = {}
+        self._streams: dict[tuple, _StreamRx] = {}
+        self._routes: dict[tuple, _Route] = {}
         self.nodes: dict[str, Node] = {}
         self._latency_overrides: dict[tuple[str, str], LatencyModel] = {}
         self._links: dict[tuple[str, str], _LinkState] = {}
@@ -228,6 +286,9 @@ class Network:
     def set_latency(self, src: str, dst: str, model: LatencyModel) -> None:
         """Override the one-way latency for the src->dst direction."""
         self._latency_overrides[(src, dst)] = model
+        for key, route in self._routes.items():
+            if key[0] == src and key[1] == dst:
+                route.model = model
 
     def set_latency_symmetric(self, a: str, b: str, model: LatencyModel) -> None:
         self.set_latency(a, b, model)
@@ -254,8 +315,11 @@ class Network:
 
         Models connections being re-established after a crash/recovery:
         buffered out-of-order packets of the dead connections are
-        dropped and sequence tracking starts fresh."""
-        for table in (self._stream_send_seq, self._stream_next, self._stream_buffer):
+        dropped and sequence tracking starts fresh. (Dropping the route
+        resets its send-sequence counter; in-flight messages keep the
+        sequence numbers stamped on them at send time, exactly as
+        before.)"""
+        for table in (self._routes, self._streams):
             for key in [k for k in table if k[0] == node_name or k[1] == node_name]:
                 del table[key]
 
@@ -282,41 +346,64 @@ class Network:
     def _deliver(self, msg: Message, receiver: Node) -> None:
         if receiver.crashed:
             return
-        self.tracer.record(
-            self.env.now, "net.deliver", msg.dst,
-            f"{msg.src}->{msg.dst} {type(msg.payload).__name__} ({msg.size} B)",
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.env.now, "net.deliver", msg.dst,
+                f"{msg.src}->{msg.dst} {type(msg.payload).__name__} ({msg.size} B)",
+            )
         receiver.inbox.put(msg)
 
     def _stream_arrived(self, msg: Message, receiver: Node) -> None:
         """In-order (TCP-like) delivery: release the longest in-sequence
-        prefix of the (src, dst) stream; buffer anything that overtook
-        its predecessors."""
-        entry = self._stream_seq_of.pop(msg.msg_id, None)
-        if entry is None:
+        prefix of the (src, dst, stream) connection; buffer anything
+        that overtook its predecessors."""
+        pair = msg.stream_pair
+        if pair is None:
             self._deliver(msg, receiver)
             return
-        pair, seq = entry
-        buffer = self._stream_buffer.setdefault(pair, {})
+        rx = self._streams.get(pair)
+        if rx is None:
+            rx = self._streams[pair] = _StreamRx()
+        seq = msg.stream_seq
+        buffer = rx.buffer
+        if seq == rx.next_seq and not buffer:
+            # In-sequence arrival with nothing buffered — the common
+            # case; skip the buffer insert/pop round-trip.
+            rx.next_seq = seq + 1
+            self._deliver(msg, receiver)
+            return
         buffer[seq] = msg
-        next_seq = self._stream_next.get(pair, 0)
+        next_seq = rx.next_seq
         while next_seq in buffer:
             self._deliver(buffer.pop(next_seq), receiver)
             next_seq += 1
-        self._stream_next[pair] = next_seq
+        rx.next_seq = next_seq
 
-    def _latency_for(self, src: str, dst: str) -> float:
-        model = self._latency_overrides.get((src, dst), self.default_latency)
-        key = (src, dst)
-        rng = self._latency_rngs.get(key)
+    def _route(self, key: tuple) -> _Route:
+        """Build (and cache) the route for a (src, dst, stream) key."""
+        src, dst, _stream = key
+        sender = self.nodes.get(src)
+        receiver = self.nodes.get(dst)
+        if sender is None or receiver is None:
+            raise KeyError(f"unknown endpoint in {src!r}->{dst!r}")
+        route = _Route()
+        route.sender = sender
+        route.receiver = receiver
+        route.tx = sender.tx
+        route.rx = receiver.rx
+        route.tx_nic = sender.nic
+        route.rx_nic = receiver.nic
+        route.state = self._link(src, dst)
+        route.model = self._latency_overrides.get((src, dst), self.default_latency)
+        rng = self._latency_rngs.get((src, dst))
         if rng is None:
             rng = self.rng_tree.derive("network", "latency", src, dst)
-            self._latency_rngs[key] = rng
-        delay = model.sample(rng)
-        state = self._links.get(key)
-        if state is not None and state.extra_latency is not None:
-            delay += state.extra_latency.sample(rng)
-        return delay
+            self._latency_rngs[(src, dst)] = rng
+        route.rng = rng
+        route.pair = key
+        route.send_seq = 0
+        self._routes[key] = route
+        return route
 
     def send(
         self,
@@ -340,11 +427,11 @@ class Network:
                 raise ValueError(
                     f"payload {payload!r} has no wire_size; pass size explicitly"
                 )
-        if src not in self.nodes or dst not in self.nodes:
-            raise KeyError(f"unknown endpoint in {src!r}->{dst!r}")
-        sender = self.nodes[src]
-        receiver = self.nodes[dst]
-        if sender.crashed:
+        key = (src, dst, stream)
+        route = self._routes.get(key)
+        if route is None:
+            route = self._route(key)
+        if route.sender.crashed:
             return
         extra_delay = 0.0
         if self._send_filters:
@@ -359,71 +446,72 @@ class Network:
                     return
             payload, size = attempt.payload, attempt.size
             extra_delay = attempt.extra_delay
-        state = self._links.get((src, dst))
-        if state is not None:
-            if state.cut:
-                return
-            if state.loss_probability and self._loss_rng.random() < state.loss_probability:
-                self.tracer.record(self.env.now, "net.drop", src, f"->{dst} lost ({size} B)")
-                return
+        state = route.state
+        if state.cut:
+            return
+        if state.loss_probability and self._loss_rng.random() < state.loss_probability:
+            self.tracer.record(self.env.now, "net.drop", src, f"->{dst} lost ({size} B)")
+            return
         self.messages_sent += 1
         self.bytes_sent += size
-        msg = Message(
-            src=src,
-            dst=dst,
-            payload=payload,
-            size=int(size),
-            sent_at=self.env.now,
-            msg_id=next(self._msg_ids),
-        )
         if self.fifo_delivery:
-            pair = (src, dst, stream)
-            seq = self._stream_send_seq.get(pair, 0)
-            self._stream_send_seq[pair] = seq + 1
-            self._stream_seq_of[msg.msg_id] = (pair, seq)
-        self._transfer(msg, sender, receiver, extra_delay=extra_delay)
+            seq = route.send_seq
+            route.send_seq = seq + 1
+            msg = Message(
+                src, dst, payload, int(size), self.env._now,
+                next(self._msg_ids), key, seq,
+            )
+        else:
+            msg = Message(
+                src, dst, payload, int(size), self.env._now, next(self._msg_ids)
+            )
+        self._transfer(msg, route, extra_delay)
 
-    def _transfer(
-        self, msg: Message, sender: Node, receiver: Node, extra_delay: float = 0.0
-    ) -> None:
+    def _transfer(self, msg: Message, route: _Route, extra_delay: float = 0.0) -> None:
         """Callback-chained transfer: tx slot -> serialize -> propagate ->
         rx slot -> serialize -> deliver. (Hot path: avoids spawning a
-        process per message.)"""
+        process per message; NIC slots use the Resource direct-handoff
+        path so one scheduled event covers admission + serialization, and
+        releases inline the no-waiter case.)"""
         env = self.env
-
-        def on_tx_granted(_event=None) -> None:
-            done = env.timeout(sender.nic.serialization_delay(msg.size))
-            done.callbacks.append(on_tx_done)
+        tx = route.tx
+        rx = route.rx
 
         def on_tx_done(_event) -> None:
-            sender.tx.release()
-            arrival = env.timeout(self._latency_for(msg.src, msg.dst) + extra_delay)
+            if tx._waiters:
+                tx.release()
+            else:
+                tx._in_use -= 1
+            # Latency composed exactly as the classic path: base model
+            # sample, then the link's extra latency (if any) from the
+            # same per-pair rng, then any filter-added delay.
+            delay = route.model.sample(route.rng)
+            extra = route.state.extra_latency
+            if extra is not None:
+                delay += extra.sample(route.rng)
+            arrival = Timeout(env, delay + extra_delay)
             arrival.callbacks.append(on_arrival)
 
         def on_arrival(_event) -> None:
             # Crashed receivers still consume stream sequence numbers
             # (the final _deliver drops the payload); otherwise in-order
             # streams would wedge forever across a crash.
-            if receiver.rx.try_acquire():
-                on_rx_granted()
-            else:
-                receiver.rx.request().callbacks.append(on_rx_granted)
-
-        def on_rx_granted(_event=None) -> None:
-            done = env.timeout(receiver.nic.serialization_delay(msg.size))
-            done.callbacks.append(on_rx_done)
+            rx.request_hold(msg.size / route.rx_nic.bandwidth).callbacks.append(
+                on_rx_done
+            )
 
         def on_rx_done(_event) -> None:
-            receiver.rx.release()
+            if rx._waiters:
+                rx.release()
+            else:
+                rx._in_use -= 1
             if self.fifo_delivery:
-                # TCP semantics: each (src,dst) stream delivers in send
-                # order. A packet that overtook its predecessors waits in
-                # the reorder buffer (head-of-line blocking).
-                self._stream_arrived(msg, receiver)
+                # TCP semantics: each (src,dst,stream) connection
+                # delivers in send order. A packet that overtook its
+                # predecessors waits in the reorder buffer
+                # (head-of-line blocking).
+                self._stream_arrived(msg, route.receiver)
                 return
-            self._deliver(msg, receiver)
+            self._deliver(msg, route.receiver)
 
-        if sender.tx.try_acquire():
-            on_tx_granted()
-        else:
-            sender.tx.request().callbacks.append(on_tx_granted)
+        tx.request_hold(msg.size / route.tx_nic.bandwidth).callbacks.append(on_tx_done)

@@ -6,15 +6,36 @@ Two primitives cover everything the rest of the library needs:
   event that fires when an item is available. Used for message inboxes.
 * :class:`Resource` — a counted resource with FIFO admission (e.g. CPU
   cores, NIC transmit queues). ``request()``/``release()`` or the
-  higher-level ``use(duration)`` process.
+  higher-level ``use(duration)``/``request_hold(duration)``.
+
+Hot-path design (see docs/PERFORMANCE.md)
+-----------------------------------------
+``Resource`` is the second-hottest object in the repository after the
+scheduler itself: every ``compute()`` and every network serialization
+goes through one. Two fast paths keep event churn down without changing
+admission order or timing:
+
+* *Uncontended*: when a unit is free, ``use``/``request_hold`` skip the
+  request event entirely and schedule only the hold timeout — one heap
+  entry per acquisition.
+* *Direct handoff*: when the resource is saturated, the waiter records
+  its hold duration up front and admission schedules the waiter's
+  *completion* directly — the waiting process resumes once (when its
+  hold ends) instead of twice (admission, then timeout). The admission
+  bookkeeping is a tiny relay that occupies exactly the heap slot the
+  classic request event occupied and assigns the completion its
+  schedule counter at the same moment the classic path would have, so
+  same-time tiebreak order — and therefore every simulated result — is
+  bit-for-bit identical to the two-resume dance.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generator
+from heapq import heappush
+from typing import Any, Generator, Optional
 
-from .engine import Environment, Event
+from .engine import Environment, Event, Timeout
 
 
 class StoreGet(Event):
@@ -25,6 +46,8 @@ class StoreGet(Event):
 
 class Store:
     """Unbounded FIFO store; the backbone of message passing."""
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment):
         self.env = env
@@ -43,17 +66,27 @@ class Store:
         """Add an item; wakes the oldest waiting getter, if any."""
         while self._getters:
             getter = self._getters.popleft()
-            if getter.triggered:
+            if getter._triggered:
                 continue
-            getter.succeed(item)
+            # Inlined Event.succeed() + Environment._schedule(): the
+            # inbox put/get pair runs once per delivered message.
+            getter._triggered = True
+            getter._value = item
+            env = getter.env
+            env._counter = counter = env._counter + 1
+            heappush(env._queue, (env._now, 1, counter, getter))
             return
         self._items.append(item)
 
     def get(self) -> StoreGet:
         """Return an event that fires with the next item."""
-        event = StoreGet(self.env)
+        env = self.env
+        event = StoreGet(env)
         if self._items:
-            event.succeed(self._items.popleft())
+            event._triggered = True
+            event._value = self._items.popleft()
+            env._counter = counter = env._counter + 1
+            heappush(env._queue, (env._now, 1, counter, event))
         else:
             self._getters.append(event)
         return event
@@ -66,14 +99,58 @@ class Store:
             pass
 
 
-class ResourceRequest(Event):
-    """Event returned by :meth:`Resource.request`; fires on admission."""
+class _AdmitRelay:
+    """Heap-entry stand-in for the classic admission event.
 
-    __slots__ = ()
+    Scheduled by :meth:`Resource.release` when it hands a unit to a
+    ``request_hold`` waiter. It pops in exactly the slot the old
+    admission event popped in, and only then schedules the waiter's
+    completion — so the completion gets the same schedule counter the
+    classic request-then-timeout path would have assigned, preserving
+    deterministic tiebreak order among same-time events.
+    """
+
+    __slots__ = ("callbacks", "_value", "_ok", "_defused", "waiter")
+
+    def __init__(self, waiter: "ResourceRequest"):
+        self.callbacks = [self._fire]
+        self._value = None
+        self._ok = True
+        self._defused = True
+        self.waiter = waiter
+
+    def _fire(self, _event) -> None:
+        waiter = self.waiter
+        waiter._triggered = True
+        waiter.env._schedule(waiter, delay=waiter.hold)
+
+
+class ResourceRequest(Event):
+    """Event returned by :meth:`Resource.request`; fires on admission.
+
+    When created through :meth:`Resource.request_hold`, ``hold`` carries
+    the intended hold duration and the event fires at *admission + hold*
+    instead (the releasing side schedules the completion directly).
+    """
+
+    __slots__ = ("hold",)
+
+    def __init__(self, env: Environment):
+        # Flattened Event.__init__ (no super() chain): requests are
+        # allocated on every contended acquisition.
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._defused = False
+        self.hold: Optional[float] = None
 
 
 class Resource:
     """A counted FIFO resource (CPU cores, transmit slots, ...)."""
+
+    __slots__ = ("env", "capacity", "_in_use", "_waiters")
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
@@ -111,15 +188,41 @@ class Resource:
             self._waiters.append(event)
         return event
 
+    def request_hold(self, duration: float) -> Event:
+        """Acquire a unit (FIFO) and hold it for ``duration`` seconds.
+
+        The returned event fires when the *hold completes* — either a
+        plain timeout (uncontended) or a handoff-scheduled completion
+        (saturated). The caller owns the unit from admission until it
+        calls :meth:`release`, exactly as with ``request()`` + timeout,
+        but with a single scheduled event either way.
+        """
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return Timeout(self.env, duration)
+        event = ResourceRequest(self.env)
+        event.hold = duration
+        self._waiters.append(event)
+        return event
+
     def release(self) -> None:
         """Return one unit; admits the oldest waiter, if any."""
         if self._in_use <= 0:
             raise RuntimeError("release() without a matching request()")
-        while self._waiters:
-            waiter = self._waiters.popleft()
-            if waiter.triggered:
+        waiters = self._waiters
+        while waiters:
+            waiter = waiters.popleft()
+            if waiter._triggered:
                 continue
-            waiter.succeed()
+            if waiter.hold is None:
+                waiter.succeed()
+            else:
+                # Direct handoff: the unit transfers now; the relay pops
+                # in the classic admission slot and schedules the
+                # waiter's completion there (see module docstring).
+                env = self.env
+                env._counter = counter = env._counter + 1
+                heappush(env._queue, (env._now, 1, counter, _AdmitRelay(waiter)))
             return
         self._in_use -= 1
 
@@ -130,16 +233,25 @@ class Resource:
 
             yield from cpu.use(0.000'02)
         """
+        # request_hold() inlined: this generator wraps every compute().
         if self._in_use < self.capacity:
-            # Fast path: grant immediately without a request event.
             self._in_use += 1
-            try:
-                yield self.env.timeout(duration)
-            finally:
-                self.release()
-            return
-        yield self.request()
+            event = Timeout(self.env, duration)
+        else:
+            event = ResourceRequest(self.env)
+            event.hold = duration
+            self._waiters.append(event)
         try:
-            yield self.env.timeout(duration)
-        finally:
+            yield event
+        except BaseException:
+            # Interrupted. Release only if we actually held the unit;
+            # an un-admitted waiter never acquired anything.
+            if event._triggered:
+                self.release()
+            raise
+        # release() inlined for the common no-waiter case: we provably
+        # hold a unit here, so the underflow guard cannot fire.
+        if self._waiters:
             self.release()
+        else:
+            self._in_use -= 1

@@ -127,6 +127,19 @@ class TroxyCore:
         self.cache = cache if cache is not None else FastReadCache(enclave)
         self.monitor = monitor or ConflictMonitor()
         self.keys_fn = keys_fn or (lambda op: (op.key,))
+        # Hot-path cost scalars: every client request charges several of
+        # these, and chasing profile -> OpCost -> cost() per charge is
+        # measurable (see docs/PERFORMANCE.md). Inlined expressions keep
+        # the exact float-operation order of OpCost.cost().
+        prof = self.profile
+        self._hash_base = prof.hash.base
+        self._hash_per_byte = prof.hash.per_byte
+        self._aead_base = prof.aead.base
+        self._aead_per_byte = prof.aead.per_byte
+        self._mac_base = prof.mac.base
+        self._mac_per_byte = prof.mac.per_byte
+        self._mac_cost_digest = prof.mac.cost(DIGEST_SIZE)
+        self._hash_cost_64 = prof.hash.cost(64)
         self.stats = TroxyStats()
         # Optional observability plane (repro.obs): cache/vote spans and
         # fast-read outcome events.
@@ -164,7 +177,7 @@ class TroxyCore:
         if endpoint is None:
             self.stats.invalid_messages += 1
             return Action("drop", reason="no session")
-        yield from self.node.compute(self.profile.aead_cost(envelope.wire_size))
+        yield from self.node.compute(self._aead_base + self._aead_per_byte * envelope.wire_size)
         try:
             open_body(endpoint, envelope)
         except TlsError:
@@ -179,9 +192,9 @@ class TroxyCore:
             origin=self.replica_id,
             unordered=False,
         )
-        yield from self.node.compute(
-            self.profile.hash_cost(bft_request.wire_size)
-            + self.profile.mac_cost(DIGEST_SIZE)
+        yield from self.node.charge(
+            self._hash_base + self._hash_per_byte * bft_request.wire_size,
+            self._mac_cost_digest,
         )
         if (
             self.fast_reads
@@ -218,7 +231,7 @@ class TroxyCore:
             span = self.obs.cache_begin(self, client_request)
         outcome = "miss"
         try:
-            yield from self.node.compute(self.profile.hash_cost(bft_request.op.size))
+            yield from self.node.compute(self._hash_base + self._hash_per_byte * bft_request.op.size)
             cached = self.cache.get(self._cache_key(bft_request.op))
             if cached is None:
                 self.monitor.record_miss()
@@ -226,7 +239,7 @@ class TroxyCore:
             if self.cache.store_outside:
                 # The reply body lives encrypted in untrusted memory; validate
                 # it against the digest kept inside the enclave (Section V-A).
-                yield from self.node.compute(self.profile.hash_cost(cached.result.size))
+                yield from self.node.compute(self._hash_base + self._hash_per_byte * cached.result.size)
             else:
                 # Stored in enclave memory: touching it may page against the
                 # EPC limit.
@@ -237,7 +250,7 @@ class TroxyCore:
             queries = []
             request_digest = self._cache_key(bft_request.op)
             for replica_id in chosen:
-                yield from self.node.compute(self.profile.mac_cost(DIGEST_SIZE))
+                yield from self.node.compute(self._mac_cost_digest)
                 tag = self._instance_key.sign(
                     CacheQuery.auth_input(request_digest, self.replica_id, nonce)
                 )
@@ -257,7 +270,7 @@ class TroxyCore:
 
     def answer_cache_query(self, query: CacheQuery):
         """Fig. 4, get_remote_cache_entry (ecall #3)."""
-        yield from self.node.compute(self.profile.mac_cost(DIGEST_SIZE))
+        yield from self.node.compute(self._mac_cost_digest)
         asker_key = self.keyring.troxy_instance(query.asker)
         if not asker_key.verify(
             CacheQuery.auth_input(query.request_digest, query.asker, query.nonce), query.tag
@@ -267,7 +280,7 @@ class TroxyCore:
         self.stats.cache_queries_answered += 1
         cached = self.cache.peek(query.request_digest)
         reply_digest = None if cached is None else cached.result_digest()
-        yield from self.node.compute(self.profile.mac_cost(DIGEST_SIZE))
+        yield from self.node.compute(self._mac_cost_digest)
         tag = self._instance_key.sign(
             CacheEntryReply.auth_input(
                 query.request_digest, reply_digest, self.replica_id, query.nonce
@@ -283,7 +296,7 @@ class TroxyCore:
         state = self._fast_reads.get(answer.nonce)
         if state is None:
             return Action("wait")  # late or replayed: nothing outstanding
-        yield from self.node.compute(self.profile.mac_cost(DIGEST_SIZE))
+        yield from self.node.compute(self._mac_cost_digest)
         responder_key = self.keyring.troxy_instance(answer.responder)
         if not responder_key.verify(
             CacheEntryReply.auth_input(
@@ -354,18 +367,18 @@ class TroxyCore:
         it is idempotent and only ever conservative."""
         if not request.op.is_read:
             keys = self.keys_fn(request.op)
-            yield from self.node.compute(self.profile.hash_cost(64) * max(1, len(keys)))
+            yield from self.node.compute(self._hash_cost_64 * max(1, len(keys)))
             self.cache.invalidate_keys(keys)
         elif self.fast_reads and fresh:
             # Install the local replica's result for this ordered read. A
             # faulty local replica can only poison *this* cache; the fast-
             # read path requires f+1 matching entries from distinct
             # Troxies, so a poisoned entry can never reach a client.
-            yield from self.node.compute(self.profile.hash_cost(request.op.size))
+            yield from self.node.compute(self._hash_base + self._hash_per_byte * request.op.size)
             self.cache.install(
                 self._cache_key(request.op), reply, self.keys_fn(request.op)
             )
-        yield from self.node.compute(self.profile.mac_cost(reply.wire_size))
+        yield from self.node.compute(self._mac_base + self._mac_per_byte * reply.wire_size)
         tag = self._instance_key.sign(reply.auth_bytes())
         authenticated = Reply(
             replica_id=reply.replica_id,
@@ -390,7 +403,7 @@ class TroxyCore:
         if reply.troxy_tag is None:
             self.stats.invalid_messages += 1
             return Action("drop", reason="missing troxy tag")
-        yield from self.node.compute(self.profile.mac_cost(reply.wire_size))
+        yield from self.node.compute(self._mac_base + self._mac_per_byte * reply.wire_size)
         sender_key = self.keyring.troxy_instance(reply.replica_id)
         if not sender_key.verify(reply.auth_bytes(), reply.troxy_tag):
             self.stats.invalid_messages += 1
@@ -449,5 +462,5 @@ class TroxyCore:
             result=result,
             request_digest=request_digest,
         )
-        yield from self.node.compute(self.profile.aead_cost(client_reply.wire_size))
+        yield from self.node.compute(self._aead_base + self._aead_per_byte * client_reply.wire_size)
         return seal_body(endpoint, client_reply)

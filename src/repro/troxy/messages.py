@@ -9,7 +9,7 @@ hash optimization (Section VI-C2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..crypto.primitives import DIGEST_SIZE, MAC_SIZE
@@ -25,14 +25,17 @@ class CacheQuery:
     asker: str  # replica id whose Troxy is voting
     nonce: int
     tag: bytes
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "wire_size", _HEADER + DIGEST_SIZE + len(self.asker) + 8 + MAC_SIZE
+        )
 
     @staticmethod
     def auth_input(request_digest: bytes, asker: str, nonce: int) -> bytes:
         return b"CQ|" + request_digest + b"|" + asker.encode() + b"|" + nonce.to_bytes(8, "big")
 
-    @property
-    def wire_size(self) -> int:
-        return _HEADER + DIGEST_SIZE + len(self.asker) + 8 + MAC_SIZE
 
 
 @dataclass(frozen=True)
@@ -44,6 +47,13 @@ class CacheEntryReply:
     responder: str
     nonce: int
     tag: bytes
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        size = _HEADER + DIGEST_SIZE + len(self.responder) + 8 + MAC_SIZE
+        if self.reply_digest is not None:
+            size += DIGEST_SIZE
+        object.__setattr__(self, "wire_size", size)
 
     @staticmethod
     def auth_input(
@@ -60,9 +70,3 @@ class CacheEntryReply:
             + nonce.to_bytes(8, "big")
         )
 
-    @property
-    def wire_size(self) -> int:
-        size = _HEADER + DIGEST_SIZE + len(self.responder) + 8 + MAC_SIZE
-        if self.reply_digest is not None:
-            size += DIGEST_SIZE
-        return size

@@ -1,0 +1,329 @@
+"""Edge semantics the hot-path rewrite must preserve.
+
+The scheduler, relay objects, and resource fast paths (see
+docs/PERFORMANCE.md) all promise "same events, same order, same
+results" as the naive implementation. These tests pin the corners
+where that promise is easiest to break: already-processed targets,
+interrupts racing relays, tiebreak priorities, and the deterministic
+``env.steps`` / ``env.scheduled_events`` counters.
+"""
+
+import random
+
+from repro.sim import Environment, Interrupt
+from repro.sim.engine import Event
+from repro.sim.resources import Resource
+
+
+# -- already-processed targets ------------------------------------------------
+
+
+def _processed_event(env, value=None):
+    """An event that has been triggered *and* processed."""
+    ev = env.event()
+    ev.succeed(value)
+    env.run()
+    assert ev.processed
+    return ev
+
+
+def test_interrupt_of_process_waiting_on_processed_event():
+    """Interrupting a process parked on a relay must not resume it twice.
+
+    Yielding an already-processed event parks the process on an internal
+    relay scheduled for the current time. An interrupt arriving before
+    the relay pops must detach the process from it; otherwise the relay
+    would resume the process a second time after the interrupt handler
+    already did (regression test for the relay-as-wait-target fix).
+    """
+    env = Environment()
+    done = _processed_event(env, "old-value")
+    log = []
+
+    def waiter(env):
+        try:
+            yield done
+            log.append("value-delivered")
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause))
+        # If the stale relay still resumed us, this yield would receive
+        # a spurious send() and the timeout below would misbehave.
+        yield env.timeout(1.0)
+        log.append(("slept-until", env.now))
+
+    proc = env.process(waiter(env))
+    env.step()  # run only the _Initialize; proc is now parked on the relay
+    assert env.peek() == 0.0  # the relay is scheduled but not yet popped
+    proc.interrupt("now")  # boosted: pops before the relay
+    env.run()
+    assert log == [("interrupted", "now"), ("slept-until", 1.0)]
+
+
+def test_any_of_over_preprocessed_children():
+    """AnyOf where every child already fired: succeeds on the next step,
+    at the current time, with all processed children in the value map."""
+    env = Environment()
+    a = _processed_event(env, "a")
+    b = _processed_event(env, "b")
+    seen = []
+
+    def proc(env):
+        result = yield env.any_of([a, b])
+        seen.append((env.now, result))
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [(0.0, {0: "a", 1: "b"})]
+
+
+def test_all_of_over_preprocessed_children():
+    env = Environment()
+    a = _processed_event(env, 1)
+    b = _processed_event(env, 2)
+    seen = []
+
+    def proc(env):
+        result = yield env.all_of([a, b])
+        seen.append((env.now, result))
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [(0.0, {0: 1, 1: 2})]
+
+
+def test_all_of_mixed_preprocessed_and_pending_children():
+    """AllOf must wait for the pending child even when the other child
+    was processed before the condition was built."""
+    env = Environment()
+    ready = _processed_event(env, "ready")
+    seen = []
+
+    def proc(env):
+        result = yield env.all_of([ready, env.timeout(2.0, "late")])
+        seen.append((env.now, result))
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [(2.0, {0: "ready", 1: "late"})]
+
+
+# -- tiebreak priorities ------------------------------------------------------
+
+
+def test_priority_boost_preempts_same_time_events():
+    """A boosted event scheduled *after* a normal same-time event is
+    processed first (interrupt delivery relies on this)."""
+    env = Environment()
+    order = []
+
+    normal = Event(env)
+    normal._triggered = True
+    normal.callbacks.append(lambda _e: order.append("normal"))
+    boosted = Event(env)
+    boosted._triggered = True
+    boosted.callbacks.append(lambda _e: order.append("boosted"))
+
+    env._schedule(normal)
+    env._schedule(boosted, priority_boost=True)
+    env.run()
+    assert order == ["boosted", "normal"]
+
+
+def test_interrupt_preempts_same_time_timeout():
+    """The waiter's interrupt handler runs before its same-time timeout
+    fires, and the stale timeout does not resume it afterwards."""
+    env = Environment()
+    log = []
+    victim = []
+
+    def interrupter(env):
+        yield env.timeout(1.0)
+        victim[0].interrupt()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(1.0)
+            log.append("timeout-won")
+        except Interrupt:
+            log.append("interrupt-won")
+
+    # The interrupter starts first, so its wake-up timeout pops before the
+    # sleeper's same-time timeout; the boosted interruption then preempts
+    # the sleeper's already-queued timeout.
+    env.process(interrupter(env))
+    victim.append(env.process(sleeper(env)))
+    env.run()
+    assert log == ["interrupt-won"]
+
+
+# -- run() / step() equivalence ----------------------------------------------
+
+
+def _churn_workload(env, log, seed):
+    """A deterministic mix of timeouts, stores-free resource contention,
+    conditions, and interrupts, exercising every scheduler branch."""
+    rng = random.Random(seed)
+    cpu = Resource(env, capacity=2)
+
+    def worker(env, wid):
+        for i in range(6):
+            choice = rng.random()
+            if choice < 0.5:
+                yield from cpu.use(rng.uniform(0.001, 0.01))
+            elif choice < 0.8:
+                yield env.timeout(rng.uniform(0.001, 0.02))
+            else:
+                yield env.any_of(
+                    [env.timeout(0.005, "fast"), env.timeout(0.5, "slow")]
+                )
+            log.append((wid, i, round(env.now, 9)))
+
+    def meddler(env, victims):
+        yield env.timeout(0.013)
+        for victim in victims:
+            if victim.is_alive:
+                victim.interrupt("chaos")
+                break
+
+    workers = [env.process(worker(env, w)) for w in range(5)]
+
+    def tolerant(env, inner):
+        try:
+            yield inner
+        except Interrupt:
+            log.append(("interrupted", round(env.now, 9)))
+
+    wrapped = [env.process(tolerant(env, w)) for w in workers]
+    env.process(meddler(env, workers))
+    return wrapped
+
+
+def test_run_matches_repeated_step():
+    """The inlined run() loop and the reference step() loop must agree on
+    the trace, the clock, and both observability counters."""
+    results = []
+    for driver in ("run", "step"):
+        env = Environment()
+        log = []
+        _churn_workload(env, log, seed=99)
+        if driver == "run":
+            env.run()
+        else:
+            while env.peek() != float("inf"):
+                env.step()
+        results.append((log, env.now, env.steps, env.scheduled_events))
+    assert results[0] == results[1]
+
+
+def test_same_seed_same_steps_and_scheduled_events():
+    """Byte-identical schedules: the step and scheduled-event counters —
+    the quantities the perf-smoke CI budgets gate on — are functions of
+    the seed alone."""
+    observed = set()
+    for _ in range(3):
+        env = Environment()
+        log = []
+        _churn_workload(env, log, seed=7)
+        env.run()
+        observed.add((tuple(log), env.now, env.steps, env.scheduled_events))
+    assert len(observed) == 1
+    assert next(iter(observed))[2] > 50  # the workload actually churned
+
+
+def test_gc_reenabled_after_run():
+    """run() pauses the cycle collector for the hot loop; it must restore
+    it even when a process crashes mid-run."""
+    import gc
+
+    env = Environment()
+
+    def crasher(env):
+        yield env.timeout(0.1)
+        raise RuntimeError("boom")
+
+    env.process(crasher(env))
+    assert gc.isenabled()
+    try:
+        env.run()
+    except RuntimeError:
+        pass
+    assert gc.isenabled()
+
+
+# -- resource fast-path semantics --------------------------------------------
+
+
+def test_saturated_resource_hands_off_in_fifo_order():
+    """Under saturation the direct-handoff path must admit strictly in
+    arrival order and charge each holder its own duration back-to-back."""
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    log = []
+
+    def job(env, name, duration):
+        yield from cpu.use(duration)
+        log.append((name, round(env.now, 9)))
+
+    for name, duration in (("a", 0.3), ("b", 0.1), ("c", 0.2)):
+        env.process(job(env, name, duration))
+    env.run()
+    assert log == [("a", 0.3), ("b", 0.4), ("c", 0.6)]
+
+
+def test_interrupt_during_admitted_hold_releases_unit():
+    """Interrupting a process mid-hold returns the unit, and the next
+    waiter is admitted at the interrupt time."""
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    log = []
+
+    def holder(env):
+        try:
+            yield from cpu.use(10.0)
+        except Interrupt:
+            log.append(("holder-interrupted", env.now))
+
+    def waiter(env):
+        yield from cpu.use(0.5)
+        log.append(("waiter-done", env.now))
+
+    victim = env.process(holder(env))
+    env.process(waiter(env))
+
+    def interrupter(env):
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert log == [("holder-interrupted", 1.0), ("waiter-done", 1.5)]
+    assert cpu.in_use == 0
+
+
+def test_interrupt_while_queued_does_not_release_foreign_unit():
+    """A waiter interrupted before admission never held the unit, so the
+    current holder's accounting must be untouched."""
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    log = []
+
+    def holder(env):
+        yield from cpu.use(2.0)
+        log.append(("holder-done", env.now))
+
+    def queued(env):
+        try:
+            yield from cpu.use(1.0)
+        except Interrupt:
+            log.append(("queued-interrupted", env.now, cpu.in_use))
+
+    env.process(holder(env))
+    victim = env.process(queued(env))
+
+    def interrupter(env):
+        yield env.timeout(0.5)
+        victim.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert log == [("queued-interrupted", 0.5, 1), ("holder-done", 2.0)]
