@@ -55,13 +55,19 @@ def _workload_driver(env, client, spec: WorkloadSpec, rng, state: DriverState):
     state.done = True
 
 
-def run_scenario(scenario: Scenario, seed: int, registry=None) -> dict:
+def run_scenario(scenario: Scenario, seed: int, registry=None, obs=None) -> dict:
     """Run one scenario at one seed; returns a JSON-serialisable result.
 
     ``registry`` optionally accepts a :class:`repro.obs.Registry`
     (duck-typed — no obs import here): campaign outcomes are emitted as
     ``chaos_*`` counters so chaos results land in the same exports as
     the performance metrics.
+
+    ``obs`` optionally accepts a :class:`repro.obs.ObsPlane` (again
+    duck-typed): it is attached to the freshly built cluster and each
+    workload client is wrapped so invocations open root spans. The
+    caller keeps ownership — call ``obs.finalize()`` after this returns
+    to close spans and snapshot stats.
     """
     rng_tree = RngTree(seed)
     cluster = build_troxy(
@@ -73,6 +79,8 @@ def run_scenario(scenario: Scenario, seed: int, registry=None) -> dict:
         rng=rng_tree.derive("faults", scenario.name),
         recorder=recorder,
     )
+    if obs is not None:
+        obs.attach(cluster)
 
     spec = scenario.workload
     drivers: list[DriverState] = []
@@ -80,6 +88,8 @@ def run_scenario(scenario: Scenario, seed: int, registry=None) -> dict:
         client = recorder.wrap(
             cluster.new_client(request_timeout=spec.request_timeout)
         )
+        if obs is not None:
+            client = obs.wrap_clients([client])[0]
         state = DriverState(client_id=client.client_id)
         drivers.append(state)
         cluster.env.process(
@@ -134,6 +144,22 @@ def run_scenario(scenario: Scenario, seed: int, registry=None) -> dict:
         + sum(plane._retired_hits.values()),
     }
 
+    # First-class injection timeline: one record per injected fault with
+    # its sim-time activation (and, when healed, deactivation) timestamp.
+    injections: list[dict] = []
+    pending: dict[str, list[dict]] = {}
+    for entry in plane.log:
+        if entry["event"] == "inject":
+            record = {
+                "fault": entry["fault"], "t": entry["t"], "healed_t": None,
+            }
+            injections.append(record)
+            pending.setdefault(entry["fault"], []).append(record)
+        elif entry["event"] == "heal":
+            live = pending.get(entry["fault"])
+            if live:
+                live.pop(0)["healed_t"] = entry["t"]
+
     ok = all(r.ok for r in invariants)
     if registry is not None:
         registry.counter(
@@ -166,6 +192,7 @@ def run_scenario(scenario: Scenario, seed: int, registry=None) -> dict:
         "invariants": [r.as_dict() for r in invariants],
         "stats": stats,
         "fault_log": plane.log,
+        "injections": injections,
     }
 
 

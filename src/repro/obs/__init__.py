@@ -19,11 +19,17 @@ so observed and unobserved runs are event-for-event identical.
 All timestamps are simulated time; two same-seed runs produce
 byte-identical exports. ``python -m repro.obs`` runs a workload and
 dumps a full report.
+
+:mod:`repro.obs.health` builds on this plane: declarative SLO tracking,
+BFT-aware anomaly detectors, and a fault-forensics flight recorder —
+``python -m repro.obs.health`` measures detection latency over the
+:mod:`repro.faults` scenario catalogue.
 """
 
 from .export import chrome_trace, metrics_jsonl, prometheus_text, write_report
 from .probes import ObsPlane
-from .registry import Counter, Gauge, Histogram, Registry
+from .quantiles import QuantileSketch
+from .registry import Counter, Gauge, Histogram, Quantile, Registry
 from .spans import Span, SpanRecorder
 
 __all__ = [
@@ -31,6 +37,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "ObsPlane",
+    "Quantile",
+    "QuantileSketch",
     "Registry",
     "Span",
     "SpanRecorder",

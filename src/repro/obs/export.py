@@ -25,7 +25,7 @@ import math
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
-from .registry import Histogram, Registry
+from .registry import Histogram, Quantile, Registry
 from .spans import Span
 
 #: Format name -> file name written by :func:`write_report`.
@@ -37,14 +37,33 @@ REPORT_FILES = {
 
 
 def _fmt_num(value) -> str:
-    """Render a sample value; integral floats print as integers."""
+    """Render a sample value; integral floats print as integers.
+
+    Non-finite floats use the Prometheus spellings ``+Inf`` / ``-Inf``
+    / ``NaN`` (``repr`` would emit ``nan``, which scrapers reject).
+    """
     if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
         if math.isinf(value):
             return "+Inf" if value > 0 else "-Inf"
         if value.is_integer():
             return str(int(value))
         return repr(value)
     return str(value)
+
+
+def _json_num(value):
+    """JSON-safe sample value: non-finite floats become strings.
+
+    ``json.dumps`` renders ``inf``/``nan`` as ``Infinity``/``NaN``,
+    which is not valid JSON; exports must stay loadable by strict
+    parsers (``jq``, browsers), so those values are encoded as the
+    Prometheus spellings instead.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return _fmt_num(value)
+    return value
 
 
 def _escape_label(value: str) -> str:
@@ -67,7 +86,10 @@ def prometheus_text(registry: Registry) -> str:
     for family in registry.families():
         if family.help:
             lines.append(f"# HELP {family.name} {family.help}")
-        lines.append(f"# TYPE {family.name} {family.kind}")
+        # Sketch-backed quantile instruments surface as the standard
+        # Prometheus "summary" type (quantile lines + _sum + _count).
+        kind = "summary" if family.kind == "quantile" else family.kind
+        lines.append(f"# TYPE {family.name} {kind}")
         for key in sorted(family.instruments):
             instrument = family.instruments[key]
             if isinstance(instrument, Histogram):
@@ -75,6 +97,15 @@ def prometheus_text(registry: Registry) -> str:
                     le = "+Inf" if math.isinf(bound) else _fmt_num(bound)
                     labels = _label_str(key, ("le", le))
                     lines.append(f"{family.name}_bucket{labels} {cum}")
+                labels = _label_str(key)
+                lines.append(f"{family.name}_sum{labels} {_fmt_num(instrument.sum)}")
+                lines.append(f"{family.name}_count{labels} {instrument.count}")
+            elif isinstance(instrument, Quantile):
+                for q, estimate in instrument.snapshot():
+                    labels = _label_str(key, ("q", _fmt_num(q)))
+                    lines.append(
+                        f"{family.name}_quantile{labels} {_fmt_num(estimate)}"
+                    )
                 labels = _label_str(key)
                 lines.append(f"{family.name}_sum{labels} {_fmt_num(instrument.sum)}")
                 lines.append(f"{family.name}_count{labels} {instrument.count}")
@@ -104,10 +135,17 @@ def metrics_jsonl(registry: Registry, spans: Optional[Sequence[Span]] = None) ->
                     {"le": "+Inf" if math.isinf(b) else b, "count": c}
                     for b, c in instrument.cumulative()
                 ]
-                record["sum"] = instrument.sum
+                record["sum"] = _json_num(instrument.sum)
+                record["count"] = instrument.count
+            elif isinstance(instrument, Quantile):
+                record["quantiles"] = [
+                    {"q": q, "value": _json_num(estimate)}
+                    for q, estimate in instrument.snapshot()
+                ]
+                record["sum"] = _json_num(instrument.sum)
                 record["count"] = instrument.count
             else:
-                record["value"] = instrument.value
+                record["value"] = _json_num(instrument.value)
             lines.append(_dumps(record))
     for span in spans or ():
         lines.append(

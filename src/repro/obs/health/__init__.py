@@ -1,0 +1,67 @@
+"""repro.obs.health — online BFT health diagnosis on the obs plane.
+
+Layers on top of :mod:`repro.obs`:
+
+- :mod:`~repro.obs.health.slo` — declarative SLO specs over sliding
+  sim-time windows (latency quantiles, fast-read hit-rate floor,
+  progress);
+- :mod:`~repro.obs.health.detectors` — BFT-aware anomaly detectors
+  (replica divergence, abort storms, view/mode churn, sealed-counter
+  stalls, enclave reboots);
+- :mod:`~repro.obs.health.recorder` — bounded flight recorder dumping
+  deterministic forensic bundles when detectors fire;
+- :mod:`~repro.obs.health.plane` — the :class:`HealthPlane` tying them
+  together with zero perturbation of the simulation;
+- :mod:`~repro.obs.health.harness` — detection-latency measurement over
+  the :mod:`repro.faults` scenario catalogue.
+"""
+
+from .detectors import (
+    CacheStalenessDetector,
+    ClientRetrySpikeDetector,
+    Detector,
+    EnclaveRebootDetector,
+    FastReadAbortStormDetector,
+    Finding,
+    ModeSwitchChurnDetector,
+    ReplicaDivergenceDetector,
+    SealedCounterStallDetector,
+    ViewChangeDetector,
+    default_detectors,
+)
+from .events import Evidence, HealthEvent
+from .harness import EXPECTED, render_table, run_detection, run_harness
+from .plane import HealthPlane, render_health, write_health_report
+from .recorder import FlightRecorder
+from .slo import SloSpec, SloTracker, default_slos
+from .window import NodeDelta, RegistryDeltas, WindowSnapshot
+
+__all__ = [
+    "CacheStalenessDetector",
+    "ClientRetrySpikeDetector",
+    "Detector",
+    "EnclaveRebootDetector",
+    "EXPECTED",
+    "Evidence",
+    "FastReadAbortStormDetector",
+    "Finding",
+    "FlightRecorder",
+    "HealthEvent",
+    "HealthPlane",
+    "ModeSwitchChurnDetector",
+    "NodeDelta",
+    "RegistryDeltas",
+    "ReplicaDivergenceDetector",
+    "SealedCounterStallDetector",
+    "SloSpec",
+    "SloTracker",
+    "ViewChangeDetector",
+    "WindowSnapshot",
+    "default_detectors",
+    "default_slos",
+    "render_health",
+    "render_table",
+    "run_detection",
+    "run_harness",
+    "write_health_report",
+]

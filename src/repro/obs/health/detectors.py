@@ -1,0 +1,389 @@
+"""BFT-aware anomaly detectors over window snapshots.
+
+Each detector turns one :class:`~repro.obs.health.window.WindowSnapshot`
+into zero or more :class:`Finding`\\ s. Detectors are *edge-triggered*:
+a condition that stays true across consecutive windows fires once when
+it appears and re-arms when it clears, so a replica that stays crashed
+for twenty windows produces one diagnosis, not twenty.
+
+The catalogue maps the failure modes the paper's evaluation provokes
+(DSN 2018 §VI) — and the ones related work flags as the critical
+observables for trusted-component BFT (arXiv:2312.05714: what the
+untrusted majority gets away with; arXiv:2107.11144: fast-read abort
+storms as the canonical liveness failure) — onto the signals the obs
+registry already carries:
+
+======================  ==================================================
+``replica_divergence``   one replica's execute counter drifts from quorum
+``fast_read_abort_storm``  conflict+timeout rate of resolved fast reads
+``cache_staleness``      stale-entry conflicts dominate cache-backed reads
+``mode_switch`` / ``mode_switch_churn``  adaptive total-order flapping
+``view_change``          a replica advanced its view
+``sealed_counter_stall`` trusted counter frozen while the cell progresses
+``enclave_reboot``       reboot + cache-clear signature on one Troxy
+``client_retry_spike``   client-side retransmissions (tamper/corrupt/loss)
+======================  ==================================================
+
+Everything here is pure arithmetic on snapshot fields: no simulation
+events, no randomness, no wall clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .window import WindowSnapshot
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detector verdict, before the plane attaches time/evidence."""
+
+    kind: str
+    node: str
+    severity: str
+    detail: dict = field(default_factory=dict)
+    metrics: tuple[tuple[str, float], ...] = ()
+    #: Extra key component so recurrences that are genuinely distinct
+    #: (a second view change, a second reboot) re-fire despite the
+    #: edge-trigger (e.g. the new view number).
+    instance: object = None
+
+    @property
+    def key(self) -> tuple:
+        return (self.kind, self.node, self.instance)
+
+
+class Detector:
+    """Base: subclasses implement ``_conditions(win) -> list[Finding]``."""
+
+    name = "detector"
+
+    def __init__(self):
+        self._active: set[tuple] = set()
+
+    def evaluate(self, win: WindowSnapshot) -> list[Finding]:
+        conditions = self._conditions(win)
+        current = {finding.key for finding in conditions}
+        fired = [f for f in conditions if f.key not in self._active]
+        self._active = current
+        return fired
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        raise NotImplementedError
+
+
+def _median(values: list[int]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class ReplicaDivergenceDetector(Detector):
+    """One replica's execution counter drifting below the quorum's.
+
+    The execute counter is the cheapest proxy for "this replica applied
+    the same committed prefix as everyone else": a crashed, partitioned
+    or silently-withholding replica stops executing while the quorum
+    advances. Fires when the per-window quorum median moved by at least
+    ``min_quorum_ops`` and one replica covered less than ``lag_ratio``
+    of it.
+    """
+
+    name = "replica_divergence"
+
+    def __init__(self, min_quorum_ops: int = 4, lag_ratio: float = 0.25):
+        super().__init__()
+        self.min_quorum_ops = min_quorum_ops
+        self.lag_ratio = lag_ratio
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        nodes = win.replica_nodes()
+        if len(nodes) < 3:
+            return []
+        executes = {node: win.per_node[node].executes for node in nodes}
+        median = _median(list(executes.values()))
+        if median < self.min_quorum_ops:
+            return []
+        out = []
+        for node in nodes:
+            if executes[node] < self.lag_ratio * median:
+                out.append(Finding(
+                    kind="replica_divergence", node=node, severity="critical",
+                    detail={
+                        "executes": executes[node],
+                        "quorum_median": median,
+                        "lag_ratio": self.lag_ratio,
+                    },
+                    metrics=(
+                        ("executions_total.delta", float(executes[node])),
+                        ("quorum_median.delta", median),
+                    ),
+                ))
+        return out
+
+
+class FastReadAbortStormDetector(Detector):
+    """Resolved fast reads aborting (conflict or timeout) en masse.
+
+    arXiv:2107.11144's canonical liveness failure: the fast path keeps
+    being tried and keeps failing, burning a round trip per attempt.
+    """
+
+    name = "fast_read_abort_storm"
+
+    def __init__(self, min_samples: int = 6, abort_ratio: float = 0.5):
+        super().__init__()
+        self.min_samples = min_samples
+        self.abort_ratio = abort_ratio
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        out = []
+        for node in win.replica_nodes():
+            delta = win.per_node[node]
+            attempts = delta.fast_attempts
+            if attempts < self.min_samples:
+                continue
+            ratio = delta.fast_aborts / attempts
+            if ratio >= self.abort_ratio:
+                out.append(Finding(
+                    kind="fast_read_abort_storm", node=node, severity="warn",
+                    detail={
+                        "attempts": attempts,
+                        "conflicts": delta.fast_conflicts,
+                        "timeouts": delta.fast_timeouts,
+                        "abort_ratio": round(ratio, 4),
+                    },
+                    metrics=(
+                        ("fast_read_results_total{outcome=conflict}.delta",
+                         float(delta.fast_conflicts)),
+                        ("fast_read_results_total{outcome=timeout}.delta",
+                         float(delta.fast_timeouts)),
+                        ("fast_read_results_total{outcome=hit}.delta",
+                         float(delta.fast_hits)),
+                    ),
+                ))
+        return out
+
+
+class CacheStalenessDetector(Detector):
+    """Stale cache entries dominating the fast-read verdicts.
+
+    A conflict (as opposed to a timeout) means the cached reply did not
+    match the read quorum — the entry was stale or invalidated while
+    being served. A high conflict share among cache-backed reads is the
+    write-contention signature of Fig. 10.
+    """
+
+    name = "cache_staleness"
+
+    def __init__(self, min_conflicts: int = 4, conflict_ratio: float = 0.5):
+        super().__init__()
+        self.min_conflicts = min_conflicts
+        self.conflict_ratio = conflict_ratio
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        out = []
+        for node in win.replica_nodes():
+            delta = win.per_node[node]
+            resolved = delta.fast_hits + delta.fast_conflicts
+            if delta.fast_conflicts < self.min_conflicts or resolved == 0:
+                continue
+            ratio = delta.fast_conflicts / resolved
+            if ratio >= self.conflict_ratio:
+                out.append(Finding(
+                    kind="cache_staleness", node=node, severity="warn",
+                    detail={
+                        "conflicts": delta.fast_conflicts,
+                        "hits": delta.fast_hits,
+                        "conflict_ratio": round(ratio, 4),
+                        "cache_misses": delta.cache_misses,
+                    },
+                    metrics=(
+                        ("fast_read_results_total{outcome=conflict}.delta",
+                         float(delta.fast_conflicts)),
+                        ("cache_lookups_total{outcome=miss}.delta",
+                         float(delta.cache_misses)),
+                    ),
+                ))
+        return out
+
+
+class ModeSwitchChurnDetector(Detector):
+    """Adaptive total-order switches, single and flapping.
+
+    One switch is the monitor doing its job (``mode_switch``, info);
+    ``churn_threshold`` switches within the last ``trail`` windows means
+    the threshold is oscillating (``mode_switch_churn``, warn).
+    """
+
+    name = "mode_switch_churn"
+
+    def __init__(self, churn_threshold: int = 3, trail: int = 8):
+        super().__init__()
+        self.churn_threshold = churn_threshold
+        self.trail = trail
+        self._history: dict[str, deque] = {}
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        out = []
+        for node in win.replica_nodes():
+            switches = win.per_node[node].switches
+            history = self._history.setdefault(node, deque(maxlen=self.trail))
+            history.append(switches)
+            if switches:
+                out.append(Finding(
+                    kind="mode_switch", node=node, severity="info",
+                    detail={"switches": switches},
+                    metrics=(("monitor_mode_switches_total.delta",
+                              float(switches)),),
+                ))
+            trailing = sum(history)
+            if trailing >= self.churn_threshold:
+                out.append(Finding(
+                    kind="mode_switch_churn", node=node, severity="warn",
+                    detail={
+                        "switches_in_trail": trailing,
+                        "trail_windows": len(history),
+                    },
+                    metrics=(("monitor_mode_switches_total.trail",
+                              float(trailing)),),
+                ))
+        return out
+
+
+class ViewChangeDetector(Detector):
+    """A replica advanced its view (leader suspected/replaced)."""
+
+    name = "view_change"
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        out = []
+        for node in win.replica_nodes():
+            delta = win.per_node[node]
+            if delta.view_delta > 0:
+                out.append(Finding(
+                    kind="view_change", node=node, severity="warn",
+                    detail={"view": delta.view, "advanced_by": delta.view_delta},
+                    metrics=(("replica.view", float(delta.view)),),
+                    instance=delta.view,
+                ))
+        return out
+
+
+class SealedCounterStallDetector(Detector):
+    """A replica's trusted counters frozen while the cell progresses.
+
+    Hybster certifies every ordered message against a monotonic sealed
+    counter; a counter that stops advancing for ``patience`` windows on
+    a node that also executes nothing — while the rest of the cell
+    keeps ordering — means that node has dropped out of certification
+    (crash, partition, or a rollback attempt holding the counter back).
+    """
+
+    name = "sealed_counter_stall"
+
+    def __init__(self, patience: int = 3, min_cluster_progress: int = 4):
+        super().__init__()
+        self.patience = patience
+        self.min_cluster_progress = min_cluster_progress
+        self._stalled_for: dict[str, int] = {}
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        out = []
+        cluster_progress = win.total_executes
+        for node in win.replica_nodes():
+            delta = win.per_node[node]
+            stalled = (
+                cluster_progress >= self.min_cluster_progress
+                and delta.sealed_delta == 0
+                and delta.executes == 0
+            )
+            if stalled:
+                self._stalled_for[node] = self._stalled_for.get(node, 0) + 1
+            else:
+                self._stalled_for[node] = 0
+            if self._stalled_for[node] >= self.patience:
+                out.append(Finding(
+                    kind="sealed_counter_stall", node=node, severity="critical",
+                    detail={
+                        "stalled_windows": self._stalled_for[node],
+                        "sealed_sum": delta.sealed_sum,
+                        "cluster_executes": cluster_progress,
+                    },
+                    metrics=(
+                        ("sealed_counter.sum", float(delta.sealed_sum)),
+                        ("executions_total.cluster_delta",
+                         float(cluster_progress)),
+                    ),
+                ))
+        return out
+
+
+class EnclaveRebootDetector(Detector):
+    """Enclave power-cycle signature: reboot plus cache cold-clear."""
+
+    name = "enclave_reboot"
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        out = []
+        for node in win.replica_nodes():
+            delta = win.per_node[node]
+            if delta.reboots_delta > 0:
+                out.append(Finding(
+                    kind="enclave_reboot", node=node, severity="critical",
+                    detail={
+                        "reboots": delta.reboots_delta,
+                        "cache_clears": delta.cache_clears_delta,
+                    },
+                    metrics=(
+                        ("enclave.reboots.delta", float(delta.reboots_delta)),
+                        ("cache.clears.delta", float(delta.cache_clears_delta)),
+                    ),
+                    instance=win.index,
+                ))
+        return out
+
+
+class ClientRetrySpikeDetector(Detector):
+    """Client retransmissions: sealed replies rejected, lost, or late.
+
+    The legacy client only retries when a reply never arrived or failed
+    seal verification (tampered/corrupted channel, §VI-B), so any
+    retry burst is diagnostic — healthy cells run at zero retries.
+    """
+
+    name = "client_retry_spike"
+
+    def __init__(self, min_retries: int = 1):
+        super().__init__()
+        self.min_retries = min_retries
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        if win.retries < self.min_retries:
+            return []
+        return [Finding(
+            kind="client_retry_spike", node="", severity="warn",
+            detail={"retries": win.retries, "completed": win.completed},
+            metrics=(("client.retries.delta", float(win.retries)),),
+        )]
+
+
+def default_detectors() -> list[Detector]:
+    """The full catalogue at its default thresholds."""
+    return [
+        ReplicaDivergenceDetector(),
+        FastReadAbortStormDetector(),
+        CacheStalenessDetector(),
+        ModeSwitchChurnDetector(),
+        ViewChangeDetector(),
+        SealedCounterStallDetector(),
+        EnclaveRebootDetector(),
+        ClientRetrySpikeDetector(),
+    ]

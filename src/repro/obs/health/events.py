@@ -1,0 +1,67 @@
+"""Typed health verdicts and the evidence attached to them.
+
+A :class:`HealthEvent` is the health plane's unit of output: one
+detector (or SLO tracker) judging one node (or the whole cell) at one
+simulated instant, with the metric deltas and span ids that justify the
+verdict carried along. Events are plain data — JSON-serialisable via
+:meth:`HealthEvent.as_dict` with deterministic key order — so two
+same-seed runs produce byte-identical event logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SEVERITIES = ("info", "warn", "critical")
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """What the detector saw: metric deltas plus relevant span ids."""
+
+    #: (metric description, value) pairs — window deltas or sampled
+    #: absolutes, labelled by the detector.
+    metrics: tuple[tuple[str, float], ...] = ()
+    #: Recent span ids on the offending node (flight-recorder ring) at
+    #: detection time; resolvable against the run's span table.
+    span_ids: tuple[int, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "metrics": [[name, value] for name, value in self.metrics],
+            "span_ids": list(self.span_ids),
+        }
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One diagnosis: ``kind`` happened on ``node`` in ``window``."""
+
+    kind: str
+    t: float  # sim-time of detection (the evaluating window's end)
+    node: str  # offending node, or "" for cell-wide verdicts
+    severity: str
+    detail: dict = field(default_factory=dict)
+    evidence: Evidence = Evidence()
+    window: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}: {self.severity!r}"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "t": self.t,
+            "node": self.node,
+            "severity": self.severity,
+            "detail": dict(self.detail),
+            "evidence": self.evidence.as_dict(),
+            "window": list(self.window),
+        }
+
+    def describe(self) -> str:
+        where = self.node or "cell"
+        return f"[{self.severity}] t={self.t:.3f}s {self.kind} @ {where}"

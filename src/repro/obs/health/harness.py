@@ -1,0 +1,172 @@
+"""Detection-latency harness: chaos scenarios × the health plane.
+
+For every (scenario, seed) pair the harness runs the full
+:mod:`repro.faults` campaign machinery with a :class:`HealthPlane`
+attached and measures, in sim-time, the gap between the first fault
+injection (the scenario's own ``injections`` timeline) and the first
+health event of an *expected* kind. Fault-free scenarios invert the
+check: any health event at all is a false positive.
+
+The harness is the empirical anchor for every detector threshold: the
+tracked ``benchmarks/results/health_detection.txt`` table is
+regenerated from here, and the CI health job fails when a catalogued
+scenario stops being detected or a quiet cell starts paging.
+"""
+
+from __future__ import annotations
+
+from ...faults.campaign import run_scenario
+from ...faults.schedule import get_scenario, scenario_names
+from .plane import HealthPlane
+
+#: Scenario -> health-event kinds that count as a correct diagnosis.
+#: An empty tuple means the scenario is fault-free: the health plane
+#: must stay silent and every event is a false positive.
+EXPECTED: dict[str, tuple[str, ...]] = {
+    "healthy_control": (),
+    "troxy_crash_failover": (
+        "replica_divergence", "sealed_counter_stall", "client_retry_spike",
+    ),
+    "leader_crash_view_change": (
+        "view_change", "replica_divergence", "sealed_counter_stall",
+    ),
+    "crash_restart_recovery": (
+        "replica_divergence", "sealed_counter_stall",
+    ),
+    "enclave_reboot_rollback": ("enclave_reboot",),
+    "partition_minority": (
+        "replica_divergence", "sealed_counter_stall",
+    ),
+    "message_delay_burst": ("slo_violation", "client_retry_spike"),
+    "message_loss_burst": ("client_retry_spike",),
+    "reply_corruption": ("client_retry_spike",),
+    "host_tamper_replies": ("client_retry_spike",),
+    "write_contention_attack": (
+        "cache_staleness", "fast_read_abort_storm", "mode_switch",
+    ),
+    "unresponsive_cache_peer": (
+        "fast_read_abort_storm", "mode_switch", "slo_violation",
+    ),
+}
+
+
+def run_detection(name: str, seed: int, window: float = 0.25) -> dict:
+    """One scenario × seed with the health plane attached.
+
+    Returns a JSON-serialisable verdict; the ``plane`` key (the live
+    :class:`HealthPlane`, for bundle dumps) is attached as an extra,
+    non-serialisable field callers must pop before dumping.
+    """
+    scenario = get_scenario(name)
+    expected = EXPECTED.get(name, ())
+    plane = HealthPlane(window=window)
+    run = run_scenario(scenario, seed, registry=plane.registry, obs=plane)
+    plane.finalize()
+
+    injections = run["injections"]
+    injected_t = min((inj["t"] for inj in injections), default=None)
+
+    detected_t = None
+    detected_kind = None
+    false_positives = 0
+    for event in plane.events:
+        matches = event.kind in expected and (
+            injected_t is None or event.t >= injected_t
+        )
+        if matches and detected_t is None:
+            detected_t = event.t
+            detected_kind = event.kind
+        if not expected or (injected_t is not None and event.t < injected_t):
+            false_positives += 1
+
+    if expected:
+        ok = detected_t is not None
+    else:
+        ok = not plane.events
+    report = plane.health_report()
+    return {
+        "scenario": name,
+        "seed": seed,
+        "window": window,
+        "expected": list(expected),
+        "injections": len(injections),
+        "injected_t": injected_t,
+        "detected_t": detected_t,
+        "detected_kind": detected_kind,
+        "detection_latency": (
+            None if detected_t is None or injected_t is None
+            else round(detected_t - injected_t, 9)
+        ),
+        "events_total": len(plane.events),
+        "event_counts": report["event_counts"],
+        "false_positives": false_positives,
+        "invariants_ok": run["ok"],
+        "ok": ok,
+        "plane": plane,
+    }
+
+
+def run_harness(
+    names: list[str] | None = None,
+    seeds: list[int] = (1,),
+    window: float = 0.25,
+) -> dict:
+    """Sweep scenarios × seeds; aggregate a detection-latency report."""
+    if names is None:
+        names = [n for n in scenario_names() if n in EXPECTED]
+    runs = []
+    for name in names:
+        for seed in seeds:
+            runs.append(run_detection(name, seed, window=window))
+    missed = [
+        {"scenario": r["scenario"], "seed": r["seed"]}
+        for r in runs if not r["ok"]
+    ]
+    false_positives = sum(r["false_positives"] for r in runs)
+    return {
+        "tool": "repro.obs.health",
+        "scenarios": names,
+        "seeds": list(seeds),
+        "window": window,
+        "runs": runs,
+        "summary": {
+            "total": len(runs),
+            "detected": len(runs) - len(missed),
+            "missed": missed,
+            "false_positives": false_positives,
+        },
+    }
+
+
+def _fmt_t(value) -> str:
+    return "-" if value is None else f"{value * 1e3:8.1f}"
+
+
+def render_table(report: dict) -> str:
+    """Fixed-width detection-latency table (tracked results format)."""
+    lines = [
+        "Health-plane detection latency (sim-time, ms)",
+        "=" * 45,
+        f"{'scenario':<28} {'seed':>4} {'inject':>8} {'detect':>8} "
+        f"{'latency':>8}  {'first event':<22} verdict",
+        "-" * 96,
+    ]
+    for run in report["runs"]:
+        if run["expected"]:
+            verdict = "DETECTED" if run["ok"] else "MISSED"
+        else:
+            verdict = "QUIET" if run["ok"] else "FALSE-POSITIVE"
+        lines.append(
+            f"{run['scenario']:<28} {run['seed']:>4} "
+            f"{_fmt_t(run['injected_t']):>8} {_fmt_t(run['detected_t']):>8} "
+            f"{_fmt_t(run['detection_latency']):>8}  "
+            f"{(run['detected_kind'] or '-'):<22} {verdict}"
+        )
+    summary = report["summary"]
+    lines.append("-" * 96)
+    lines.append(
+        f"{summary['detected']}/{summary['total']} scenarios diagnosed, "
+        f"{summary['false_positives']} false positive(s)"
+        + ("" if not summary["missed"] else f", missed: {summary['missed']}")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Sliding sim-time windows over registry counters and cluster state.
+
+The health plane evaluates detectors and SLOs once per window. A
+:class:`WindowSnapshot` is everything one evaluation sees: per-node
+counter *deltas* accumulated since the previous window boundary (from
+the obs registry, via :class:`RegistryDeltas`) plus a few sampled
+absolutes read straight off the cluster objects (views, sealed-counter
+sums, enclave reboot counts). Sampling is read-only — no simulation
+events, no randomness — so the health plane inherits the obs plane's
+non-perturbation guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..quantiles import QuantileSketch
+
+
+@dataclass
+class NodeDelta:
+    """One node's activity within one window."""
+
+    node: str
+    executes: int = 0
+    orders: int = 0
+    commits: int = 0
+    fast_hits: int = 0
+    fast_conflicts: int = 0
+    fast_timeouts: int = 0
+    cache_misses: int = 0
+    votes_decided: int = 0
+    switches: int = 0
+    invalid_messages: int = 0
+    # Sampled absolutes (value at window end) and their window deltas.
+    view: int = 0
+    view_delta: int = 0
+    reboots_delta: int = 0
+    sealed_sum: int = 0
+    sealed_delta: int = 0
+    cache_clears_delta: int = 0
+
+    @property
+    def fast_attempts(self) -> int:
+        return self.fast_hits + self.fast_conflicts + self.fast_timeouts
+
+    @property
+    def fast_aborts(self) -> int:
+        return self.fast_conflicts + self.fast_timeouts
+
+
+@dataclass
+class WindowSnapshot:
+    """Everything one health evaluation sees for [start, end)."""
+
+    start: float
+    end: float
+    index: int
+    #: Client-side progress (from root client.invoke spans).
+    started: int = 0
+    completed: int = 0
+    retries: int = 0
+    open_invokes: int = 0
+    #: op_class ("read" / "write" / "all") -> latency sketch for
+    #: invocations that completed inside this window.
+    latency: dict = field(default_factory=dict)
+    #: replica/host node name -> NodeDelta.
+    per_node: dict = field(default_factory=dict)
+
+    def node(self, name: str) -> NodeDelta:
+        delta = self.per_node.get(name)
+        if delta is None:
+            delta = self.per_node[name] = NodeDelta(node=name)
+        return delta
+
+    def latency_sketch(self, op_class: str) -> QuantileSketch:
+        sketch = self.latency.get(op_class)
+        if sketch is None:
+            sketch = self.latency[op_class] = QuantileSketch()
+        return sketch
+
+    def observe_latency(self, op_class: str, value: float) -> None:
+        self.latency_sketch(op_class).observe(value)
+        self.latency_sketch("all").observe(value)
+
+    @property
+    def total_executes(self) -> int:
+        return sum(d.executes for d in self.per_node.values())
+
+    def replica_nodes(self) -> list[str]:
+        """Node names in sorted order (deterministic detector loops)."""
+        return sorted(self.per_node)
+
+
+class RegistryDeltas:
+    """Per-instrument deltas of selected counter families.
+
+    ``collect()`` walks the watched families, diffs each instrument's
+    current value against the last collection, and returns
+    ``{(family, labels): delta}`` for every series that moved. State is
+    one float per live series — O(instruments), churn-free.
+    """
+
+    def __init__(self, registry, families: tuple[str, ...]):
+        self.registry = registry
+        self.families = families
+        self._last: dict[tuple[str, tuple], float] = {}
+
+    def collect(self) -> dict[tuple[str, tuple], float]:
+        moved: dict[tuple[str, tuple], float] = {}
+        reg_families = self.registry._families
+        for name in self.families:
+            family = reg_families.get(name)
+            if family is None:
+                continue
+            for labels in sorted(family.instruments):
+                instrument = family.instruments[labels]
+                value = float(instrument.value)
+                key = (name, labels)
+                delta = value - self._last.get(key, 0.0)
+                if delta:
+                    moved[key] = delta
+                self._last[key] = value
+        return moved

@@ -72,11 +72,16 @@ class ObsPlane:
 
     def __init__(self, registry: Optional[Registry] = None,
                  spans: Optional[SpanRecorder] = None):
-        self.registry = registry or Registry()
-        self.spans = spans or SpanRecorder()
+        self.registry = registry if registry is not None else Registry()
+        # Not `spans or ...`: an empty recorder is falsy (__len__ == 0)
+        # and a caller-supplied recorder must never be dropped.
+        self.spans = spans if spans is not None else SpanRecorder()
         self.cluster = None
         self._env = None
         self._core_by_enclave: dict[int, object] = {}
+        # (monitor, hook) pairs installed by attach(), so detach() can
+        # remove exactly what it added.
+        self._monitor_hooks: list[tuple[object, object]] = []
         # Trace currently being certified per node (set only while the
         # leader holds the order lock, so at most one per node).
         self._certify_trace: dict[str, str] = {}
@@ -104,12 +109,39 @@ class ObsPlane:
             host.core.obs = self
             host.enclave.obs = self
             self._core_by_enclave[id(host.enclave)] = host.core
-            host.core.monitor.switch_hooks.append(
-                self._make_monitor_hook(host.replica_id)
-            )
+            hook = self._make_monitor_hook(host.replica_id)
+            host.core.monitor.switch_hooks.append(hook)
+            self._monitor_hooks.append((host.core.monitor, hook))
         net = getattr(cluster, "net", None)
         if net is not None:
             net.add_send_filter(self._net_tap)
+        return self
+
+    def detach(self) -> "ObsPlane":
+        """Remove every probe attach() installed.
+
+        The cluster keeps running untouched afterwards; recorded
+        metrics and spans stay readable on the plane. A detached plane
+        can be re-attached (to the same or another cluster).
+        """
+        cluster, self.cluster = self.cluster, None
+        if cluster is None:
+            return self
+        for replica in getattr(cluster, "replicas", ()):
+            replica.obs = None
+            replica.boundary.obs = None
+        for host in getattr(cluster, "hosts", ()):
+            host.obs = None
+            host.core.obs = None
+            host.enclave.obs = None
+        for monitor, hook in self._monitor_hooks:
+            monitor.switch_hooks.remove(hook)
+        self._monitor_hooks = []
+        self._core_by_enclave = {}
+        net = getattr(cluster, "net", None)
+        if net is not None:
+            net.remove_send_filter(self._net_tap)
+        self._env = None
         return self
 
     def wrap_clients(self, clients) -> list:
@@ -140,6 +172,10 @@ class ObsPlane:
         self.registry.histogram(
             "client_latency_seconds", "End-to-end client latency",
             node=node.name,
+        ).observe(result.latency)
+        self.registry.quantile(
+            "client_latency_quantile", "Streaming client-latency quantiles",
+            node=node.name, op_class="read" if op.is_read else "write",
         ).observe(result.latency)
         return result
 

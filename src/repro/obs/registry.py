@@ -15,6 +15,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Union
 
+from .quantiles import QuantileSketch
+
 Number = Union[int, float]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -26,6 +28,9 @@ DEFAULT_BUCKETS = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
     0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
 )
+
+#: Default tracked quantiles: median, tail, extreme tail.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
 
 
 class RegistryError(Exception):
@@ -127,6 +132,55 @@ class Histogram:
         return out
 
 
+class Quantile:
+    """Streaming-quantile instrument backed by a mergeable sketch.
+
+    Complements :class:`Histogram`, whose fixed buckets only bound a
+    quantile to a bucket width: the sketch tracks the distribution
+    itself, so exporters can emit ``_quantile{q=...}`` lines for any
+    tracked quantile with sub-bucket resolution.
+    """
+
+    kind = "quantile"
+    __slots__ = ("name", "labels", "quantiles", "sketch")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        compression: int = 64,
+    ):
+        qs = tuple(sorted(float(q) for q in quantiles))
+        if not qs:
+            raise RegistryError(f"quantile {name} needs at least one quantile")
+        if any(not 0.0 < q < 1.0 for q in qs):
+            raise RegistryError(f"quantile {name} quantiles must be in (0, 1)")
+        self.name = name
+        self.labels = labels
+        self.quantiles = qs
+        self.sketch = QuantileSketch(compression=compression)
+
+    def observe(self, value: Number) -> None:
+        self.sketch.observe(value)
+
+    @property
+    def sum(self) -> float:
+        return self.sketch.sum
+
+    @property
+    def count(self) -> int:
+        return int(self.sketch.count)
+
+    def value(self, q: float) -> float:
+        """Estimated value at quantile ``q`` (NaN when empty)."""
+        return self.sketch.quantile(q)
+
+    def snapshot(self) -> list[tuple[float, float]]:
+        """(q, estimate) pairs for every tracked quantile."""
+        return [(q, self.sketch.quantile(q)) for q in self.quantiles]
+
+
 @dataclass
 class _Family:
     """All instruments sharing one metric name."""
@@ -135,6 +189,7 @@ class _Family:
     kind: str
     help: str = ""
     buckets: Optional[tuple[float, ...]] = None
+    quantiles: Optional[tuple[float, ...]] = None
     instruments: dict = field(default_factory=dict)
 
 
@@ -174,6 +229,40 @@ class Registry:
             family.instruments[key] = instrument
         return instrument
 
+    def quantile(
+        self,
+        name: str,
+        help: str = "",
+        quantiles: Optional[Sequence[float]] = None,
+        compression: int = 64,
+        **labels,
+    ) -> Quantile:
+        family = self._family(name, "quantile", help)
+        if quantiles is not None:
+            qs = tuple(sorted(float(q) for q in quantiles))
+            if not qs:
+                raise RegistryError(
+                    f"quantile {name} needs at least one quantile"
+                )
+            if any(not 0.0 < q < 1.0 for q in qs):
+                raise RegistryError(
+                    f"quantile {name} quantiles must be in (0, 1)"
+                )
+        else:
+            qs = DEFAULT_QUANTILES
+        if family.quantiles is None:
+            family.quantiles = qs
+        elif family.quantiles != qs:
+            raise RegistryError(
+                f"quantile {name} re-registered with different quantiles"
+            )
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = Quantile(name, key, family.quantiles, compression)
+            family.instruments[key] = instrument
+        return instrument
+
     def _family(self, name: str, kind: str, help: str) -> _Family:
         _check_name(name)
         family = self._families.get(name)
@@ -204,7 +293,7 @@ class Registry:
         for name in sorted(self._families):
             yield self._families[name]
 
-    def instruments(self) -> Iterator[Union[Counter, Gauge, Histogram]]:
+    def instruments(self) -> Iterator[Union[Counter, Gauge, Histogram, Quantile]]:
         """All instruments, sorted by (name, labels)."""
         for family in self.families():
             for key in sorted(family.instruments):
@@ -218,8 +307,10 @@ class Registry:
         instrument = family.instruments.get(_label_key(labels))
         if instrument is None:
             return 0
-        if isinstance(instrument, Histogram):
-            raise RegistryError(f"{name} is a histogram; read .sum/.count instead")
+        if isinstance(instrument, (Histogram, Quantile)):
+            raise RegistryError(
+                f"{name} is a {instrument.kind}; read .sum/.count instead"
+            )
         return instrument.value
 
     def total(self, name: str, **labels) -> Number:
@@ -235,7 +326,7 @@ class Registry:
         total: Number = 0
         for key, instrument in family.instruments.items():
             if want <= set(key):
-                if isinstance(instrument, Histogram):
+                if isinstance(instrument, (Histogram, Quantile)):
                     total += instrument.count
                 else:
                     total += instrument.value

@@ -112,6 +112,39 @@ def test_run_scenario_without_registry_unchanged():
     assert report_to_json({"runs": [with_reg]}) == report_to_json({"runs": [again]})
 
 
+def test_injection_timeline_recorded():
+    """Every injected fault gets a sim-time activation record; timed
+    faults also get their heal time, paired FIFO per fault string."""
+    result = run_scenario(get_scenario("message_delay_burst"), 0)
+    assert len(result["injections"]) == 1
+    record = result["injections"][0]
+    assert record["t"] == pytest.approx(0.2)
+    assert record["healed_t"] == pytest.approx(2.2)
+    assert "MessageDelay" in record["fault"]
+    # Permanent faults (no heal) keep healed_t = None.
+    crash = run_scenario(get_scenario("enclave_reboot_rollback"), 0)
+    assert len(crash["injections"]) == 2
+    assert all(r["healed_t"] is None for r in crash["injections"])
+    # Fault-free runs record an empty timeline.
+    quiet = run_scenario(get_scenario("healthy_control"), 0)
+    assert quiet["injections"] == []
+
+
+def test_run_scenario_with_obs_plane_unperturbed():
+    """Attaching an ObsPlane must not change the campaign report."""
+    from repro.obs import ObsPlane
+
+    bare = run_scenario(get_scenario("healthy_control"), 0)
+    plane = ObsPlane()
+    observed = run_scenario(get_scenario("healthy_control"), 0, obs=plane)
+    plane.finalize()
+    assert report_to_json({"runs": [bare]}) == report_to_json(
+        {"runs": [observed]}
+    )
+    assert len(plane.spans) > 0
+    assert plane.registry.total("client_invocations_total") > 0
+
+
 @pytest.mark.slow
 def test_full_catalogue_seed0_green():
     report = run_campaign(list(scenario_names()), [0])

@@ -1,0 +1,95 @@
+"""Flight recorder: rings, bundles, deterministic dumps."""
+
+import json
+
+from repro.obs.health.events import Evidence, HealthEvent
+from repro.obs.health.recorder import FlightRecorder
+from repro.obs.spans import SpanRecorder
+
+
+def _spans(n, node="r0"):
+    rec = SpanRecorder()
+    spans = []
+    for i in range(n):
+        span = rec.begin("troxy.host", i * 0.001, node=node)
+        rec.end(span, i * 0.001 + 0.0005)
+        spans.append(span)
+    return spans
+
+
+def _event(kind="replica_divergence", t=0.25, node="r0"):
+    return HealthEvent(
+        kind=kind, t=t, node=node, severity="critical",
+        detail={"executes": 0}, evidence=Evidence(metrics=(), span_ids=(1,)),
+        window=(0.0, 0.25),
+    )
+
+
+def test_ring_is_bounded_per_node():
+    fr = FlightRecorder(capacity=4)
+    for span in _spans(10):
+        fr.record(span)
+    assert fr.recorded_spans == 10
+    bundle = fr.capture(0.25, [_event()])
+    assert len(bundle["spans"]) == 4  # only the last 4 survive
+    ids = [s.span_id for s in bundle["spans"]]
+    assert ids == sorted(ids)
+
+
+def test_recent_span_ids():
+    fr = FlightRecorder(capacity=8)
+    for span in _spans(6):
+        fr.record(span)
+    assert len(fr.recent_span_ids("r0", k=3)) == 3
+    assert fr.recent_span_ids("missing") == ()
+
+
+def test_max_bundles_drops_and_counts():
+    fr = FlightRecorder(capacity=4, max_bundles=2)
+    for span in _spans(3):
+        fr.record(span)
+    assert fr.capture(0.25, [_event()]) is not None
+    assert fr.capture(0.50, [_event(t=0.5)]) is not None
+    assert fr.capture(0.75, [_event(t=0.75)]) is None
+    assert len(fr.bundles) == 2
+    assert fr.dropped_bundles == 1
+    assert fr.summary()["dropped_bundles"] == 1
+
+
+def test_write_bundle_layout_and_determinism(tmp_path):
+    def build(out):
+        fr = FlightRecorder(capacity=8)
+        for span in _spans(5):
+            fr.record(span)
+        fr.capture(0.25, [_event()])
+        return fr.write(out)
+
+    dirs1 = build(tmp_path / "a")
+    dirs2 = build(tmp_path / "b")
+    assert len(dirs1) == 1
+    bundle_dir = dirs1[0]
+    assert bundle_dir.name == "bundle-000-replica_divergence"
+    names = sorted(p.name for p in bundle_dir.iterdir())
+    assert names == ["events.jsonl", "spans.jsonl", "trace.json"]
+
+    events = [json.loads(line) for line in
+              (bundle_dir / "events.jsonl").read_text().splitlines()]
+    assert events[0]["kind"] == "replica_divergence"
+    assert events[0]["evidence"]["span_ids"] == [1]
+    spans = [json.loads(line) for line in
+             (bundle_dir / "spans.jsonl").read_text().splitlines()]
+    assert len(spans) == 5
+    trace = json.loads((bundle_dir / "trace.json").read_text())
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    for p1, p2 in zip(sorted(dirs1[0].iterdir()), sorted(dirs2[0].iterdir())):
+        assert p1.read_bytes() == p2.read_bytes()
+
+
+def test_health_event_as_dict_roundtrip():
+    event = _event()
+    data = event.as_dict()
+    assert json.loads(json.dumps(data, sort_keys=True)) == data
+    assert data["kind"] == "replica_divergence"
+    assert data["window"] == [0.0, 0.25]
+    assert "replica_divergence" in event.describe()

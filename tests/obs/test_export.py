@@ -145,6 +145,48 @@ def test_write_report_roundtrip(tmp_path):
         write_report(tmp_path / "bad", reg, rec.spans, formats=("nope",))
 
 
+def test_nonfinite_prometheus_rendering():
+    """+Inf/-Inf/NaN samples must use the Prometheus spellings."""
+    reg = Registry()
+    h = reg.histogram("weird_seconds", buckets=(1.0,))
+    h.observe(math.inf)
+    reg.gauge("pressure", node="r0").set(-math.inf)
+    reg.gauge("ratio", node="r0").set(math.nan)
+    text = prometheus_text(reg)
+    assert "weird_seconds_sum +Inf" in text
+    assert 'pressure{node="r0"} -Inf' in text
+    assert 'ratio{node="r0"} NaN' in text
+    assert "nan" not in text
+    assert "inf" not in text.replace("+Inf", "").replace("-Inf", "")
+
+
+def test_empty_label_instruments_render_bare():
+    """No-label series print `name value` with no `{}` pair block."""
+    reg = Registry()
+    reg.counter("total_ops").inc(3)
+    reg.histogram("lat", buckets=(0.1,)).observe(0.05)
+    text = prometheus_text(reg)
+    assert "\ntotal_ops 3\n" in "\n" + text
+    assert "total_ops{}" not in text
+    assert 'lat_bucket{le="0.1"} 1' in text
+    assert "lat_sum 0.05" in text
+    assert "lat_count 1" in text
+
+
+def test_nonfinite_jsonl_stays_valid_json():
+    """json.dumps would emit bare Infinity/NaN; exports must not."""
+    reg = Registry()
+    reg.histogram("weird_seconds", buckets=(1.0,)).observe(math.inf)
+    reg.gauge("ratio").set(math.nan)
+    text = metrics_jsonl(reg, [])
+    records = [json.loads(line) for line in text.splitlines()]
+    assert "Infinity" not in text and "NaN" not in text.replace('"NaN"', "")
+    hist = next(r for r in records if r["type"] == "histogram")
+    assert hist["sum"] == "+Inf"
+    gauge = next(r for r in records if r["type"] == "gauge")
+    assert gauge["value"] == "NaN"
+
+
 def _regenerate():
     GOLDEN_DIR.mkdir(exist_ok=True)
     for filename, text in _render_all().items():

@@ -1,0 +1,160 @@
+"""Streaming quantile sketch + Quantile registry instrument."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.export import metrics_jsonl, prometheus_text
+from repro.obs.quantiles import QuantileSketch
+from repro.obs.registry import Registry, RegistryError
+
+
+def test_empty_sketch():
+    sk = QuantileSketch()
+    assert sk.count == 0
+    assert sk.sum == 0.0
+    assert math.isnan(sk.quantile(0.5))
+
+
+def test_small_stream_is_exact():
+    sk = QuantileSketch()
+    for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+        sk.observe(v)
+    assert sk.count == 5
+    assert sk.sum == 15.0
+    assert sk.quantile(0.0) == 1.0
+    assert sk.quantile(1.0) == 5.0
+    assert sk.quantile(0.5) == 3.0
+
+
+def test_rejects_nan():
+    sk = QuantileSketch()
+    with pytest.raises(ValueError):
+        sk.observe(math.nan)
+
+
+def test_quantile_argument_validation():
+    sk = QuantileSketch()
+    sk.observe(1.0)
+    with pytest.raises(ValueError):
+        sk.quantile(-0.1)
+    with pytest.raises(ValueError):
+        sk.quantile(1.1)
+
+
+def test_large_stream_accuracy_and_bounded_size():
+    rng = random.Random(7)
+    values = [rng.random() for _ in range(20000)]
+    sk = QuantileSketch(compression=64)
+    for v in values:
+        sk.observe(v)
+    values.sort()
+    for q in (0.01, 0.25, 0.5, 0.9, 0.99):
+        exact = values[min(int(q * len(values)), len(values) - 1)]
+        assert sk.quantile(q) == pytest.approx(exact, abs=0.02)
+    # Centroid count stays O(compression), not O(n): ~5x compression
+    # at steady state for any stream length.
+    assert sk.centroid_count() < 8 * sk.compression
+    # Extremes are exact.
+    assert sk.quantile(0.0) == values[0]
+    assert sk.quantile(1.0) == values[-1]
+
+
+def test_merge_matches_single_sketch():
+    rng = random.Random(11)
+    a, b, whole = QuantileSketch(), QuantileSketch(), QuantileSketch()
+    for i in range(5000):
+        v = rng.gauss(0.0, 1.0)
+        (a if i % 2 else b).observe(v)
+        whole.observe(v)
+    merged = QuantileSketch()
+    merged.merge(a)
+    merged.merge(b)
+    assert merged.count == whole.count
+    assert merged.sum == pytest.approx(whole.sum)
+    for q in (0.1, 0.5, 0.9):
+        assert merged.quantile(q) == pytest.approx(whole.quantile(q), abs=0.1)
+    # Merging never mutates the source.
+    assert a.count == 2500
+
+
+def test_merge_empty_is_noop():
+    sk = QuantileSketch()
+    sk.observe(2.0)
+    sk.merge(QuantileSketch())
+    assert sk.count == 1
+    empty = QuantileSketch()
+    empty.merge(sk)
+    assert empty.quantile(0.5) == 2.0
+
+
+def test_determinism_same_stream_same_bytes():
+    def build():
+        rng = random.Random(3)
+        sk = QuantileSketch(compression=32)
+        for _ in range(3000):
+            sk.observe(rng.expovariate(1.0))
+        return [sk.quantile(q) for q in (0.5, 0.9, 0.99)]
+
+    assert build() == build()
+
+
+# -- Quantile registry instrument ---------------------------------------------
+
+
+def test_registry_quantile_instrument():
+    reg = Registry()
+    q = reg.quantile("lat", "Latency quantiles", node="r0")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        q.observe(v)
+    assert q.count == 4
+    assert q.sum == 10.0
+    assert q.value(0.5) == 2.5
+    assert reg.quantile("lat", node="r0") is q
+    assert reg.total("lat") == 4
+
+
+def test_registry_quantile_validation():
+    reg = Registry()
+    with pytest.raises(RegistryError):
+        reg.quantile("bad", quantiles=())
+    with pytest.raises(RegistryError):
+        reg.quantile("bad2", quantiles=(0.5, 1.5))
+    reg.quantile("ok", quantiles=(0.5, 0.9))
+    with pytest.raises(RegistryError):
+        reg.quantile("ok", quantiles=(0.5,))  # family-level mismatch
+
+
+def test_registry_quantile_value_raises():
+    reg = Registry()
+    inst = reg.quantile("lat2")
+    inst.observe(1.0)
+    with pytest.raises(RegistryError):
+        reg.value("lat2")
+
+
+def test_prometheus_summary_lines():
+    reg = Registry()
+    q = reg.quantile("rpc_latency", "RPC latency", quantiles=(0.5, 0.99), node="r0")
+    for v in (0.01, 0.02, 0.03, 0.04):
+        q.observe(v)
+    text = prometheus_text(reg)
+    assert "# TYPE rpc_latency summary" in text
+    assert 'rpc_latency_quantile{node="r0",q="0.5"} 0.025' in text
+    assert 'rpc_latency_quantile{node="r0",q="0.99"} 0.04' in text
+    assert 'rpc_latency_sum{node="r0"} 0.1' in text
+    assert 'rpc_latency_count{node="r0"} 4' in text
+
+
+def test_empty_quantile_renders_nan():
+    reg = Registry()
+    reg.quantile("idle", quantiles=(0.5,))
+    text = prometheus_text(reg)
+    assert 'idle_quantile{q="0.5"} NaN' in text
+    # JSONL stays parseable: NaN is stringified, not bare.
+    import json
+
+    for line in metrics_jsonl(reg, []).splitlines():
+        record = json.loads(line)
+    assert record["quantiles"][0]["value"] == "NaN"
