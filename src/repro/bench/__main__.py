@@ -85,6 +85,48 @@ def run_fig11():
     return points
 
 
+def run_batching():
+    points = experiments.batching_throughput()
+    writes = [p for p in points if p.figure == "batching-writes"]
+    reads = [p for p in points if p.figure == "batching-reads"]
+    lines = ["Batching — fig6 local writes, 32 clients (etroxy)", "=" * 56]
+    lines.append(
+        f"{'setting':>9} | {'op/s':>7} | {'p50 ms':>7} | {'avg batch':>9} | "
+        f"{'depth':>5} | flushes size/idle/drain/timeout"
+    )
+    by_setting = {}
+    for point in writes:
+        fr = point.extra.get("flush_reasons", {})
+        by_setting[point.x] = point.throughput
+        lines.append(
+            f"{point.x:>9} | {point.throughput:>7.0f} | "
+            f"{point.summary.p50 * 1000:>7.3f} | {point.extra.get('avg_batch', 1.0):>9.2f} | "
+            f"{point.extra.get('max_pipeline_depth', 0):>5} | "
+            f"{fr.get('size', 0)}/{fr.get('idle', 0)}/{fr.get('drain', 0)}/{fr.get('timeout', 0)}"
+        )
+    if "1" in by_setting:
+        base = by_setting["1"]
+        lines.append("")
+        lines.append("speedup vs batch size 1 (same two-deep agreement pipeline):")
+        for setting in ("4", "16", "adaptive"):
+            if setting in by_setting and base > 0:
+                lines.append(f"  b={setting:>8}: {by_setting[setting] / base:5.2f}x")
+    if "off" in by_setting and "adaptive" in by_setting and by_setting["off"] > 0:
+        lines.append(
+            f"adaptive vs unbatched ('off'): "
+            f"{by_setting['adaptive'] / by_setting['off']:5.2f}x"
+        )
+    lines.append("")
+    lines.append("fig8-style fast-read guard (p50 must not move):")
+    for point in reads:
+        lines.append(
+            f"  b={point.x:>8}: p50 {point.summary.p50 * 1000:7.3f} ms  "
+            f"({point.throughput:.0f} op/s)"
+        )
+    save_and_print("batching", "\n".join(lines))
+    return points
+
+
 def run_table1():
     rows = experiments.table1_rows()
     lines = ["Table I — read optimizations and consistency", "=" * 46]
@@ -106,6 +148,7 @@ RUNNERS = {
     "fig10": run_fig10,
     "fig11": run_fig11,
     "table1": run_table1,
+    "batching": run_batching,
 }
 
 

@@ -15,13 +15,14 @@ scenarios, plus configurable client access bandwidth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Union
 
 from ..apps.base import Application
 from ..crypto.keys import KeyRing
 from ..hybster.client import BftClient, ClientMachine
-from ..hybster.config import ClusterConfig
+from ..hybster.config import BatchConfig, ClusterConfig
 from ..hybster.replica import Replica
 from ..troxy.cache import FastReadCache
 from ..troxy.core import TroxyCore
@@ -58,6 +59,55 @@ from ..sim.trace import Tracer
 LAN_LATENCY = UniformLatency(30e-6, 90e-6)
 WAN_DELAY = NormalLatency(0.100, 0.020)
 MASTER_SECRET = b"troxy-repro-master-secret-0001"
+
+#: Environment default for agreement batching (docs/BATCHING.md):
+#: "off", an integer batch size, or "adaptive". Only consulted when the
+#: caller passes neither ``batching`` nor an explicit ``config`` — tests
+#: that pin a ClusterConfig stay insensitive to the CI batching matrix.
+BATCHING_ENV = "REPRO_BATCHING"
+
+
+def resolve_batching(batching: Union[BatchConfig, int, str, None]) -> BatchConfig:
+    """Turn a batching knob into a :class:`BatchConfig`.
+
+    Accepts a BatchConfig (returned as-is), an int batch size, or the
+    strings "off"/"adaptive"/an integer literal as they arrive from
+    CLIs and the environment. "off" (or 0) disables the batch layer
+    entirely — the pre-batching code path. An int n >= 1 means
+    ``BatchConfig.sized(n)``: size 1 still routes requests through the
+    batch loop (the conformance suite pins it wire-equivalent to the
+    pre-batching protocol), which is what "batch size 1" means in the
+    CI matrix and the chaos campaigns.
+    """
+    if batching is None or isinstance(batching, BatchConfig):
+        return batching if batching is not None else BatchConfig()
+    if isinstance(batching, str):
+        text = batching.strip().lower()
+        if text in ("", "off", "none"):
+            return BatchConfig()
+        if text == "adaptive":
+            return BatchConfig.adaptive_default()
+        batching = int(text)
+    if batching < 1:
+        return BatchConfig()
+    return BatchConfig.sized(batching)
+
+
+def _apply_batching(
+    config: Optional[ClusterConfig],
+    f: int,
+    batching: Union[BatchConfig, int, str, None],
+) -> ClusterConfig:
+    """Builder-side batching resolution (explicit arg > config > env)."""
+    if batching is not None:
+        base = config or ClusterConfig(f=f)
+        return replace(base, batching=resolve_batching(batching))
+    if config is not None:
+        return config
+    env_default = os.environ.get(BATCHING_ENV)
+    if env_default:
+        return ClusterConfig(f=f, batching=resolve_batching(env_default))
+    return ClusterConfig(f=f)
 
 
 @dataclass
@@ -133,12 +183,13 @@ def build_baseline(
     client_nic: Optional[NicConfig] = None,
     replica_cores: int = 8,
     config: Optional[ClusterConfig] = None,
+    batching: Union[BatchConfig, int, str, None] = None,
     trace: bool = False,
 ) -> BaselineCluster:
     """Assemble the original Hybster deployment with client-side voting."""
     if app_factory is None:
         raise ValueError("app_factory is required")
-    config = config or ClusterConfig(f=f)
+    config = _apply_batching(config, f, batching)
     env = Environment()
     rng = RngTree(seed)
     tracer = Tracer(enabled=trace)
@@ -205,6 +256,12 @@ class TroxyCluster:
     attestation: AttestationService
     _client_counter: int = 0
 
+    @property
+    def leader(self) -> Replica:
+        view = max(replica.view for replica in self.replicas)
+        leader_id = self.config.leader_of(view)
+        return next(r for r in self.replicas if r.replica_id == leader_id)
+
     def host_of(self, replica_id: str) -> TroxyHost:
         return next(h for h in self.hosts if h.replica_id == replica_id)
 
@@ -249,6 +306,7 @@ def build_troxy(
     client_nic: Optional[NicConfig] = None,
     replica_cores: int = 8,
     config: Optional[ClusterConfig] = None,
+    batching: Union[BatchConfig, int, str, None] = None,
     monitor_factory: Callable[[], ConflictMonitor] = None,
     cache_entries: int = 65536,
     cache_outside: bool = True,
@@ -266,7 +324,7 @@ def build_troxy(
         raise ValueError("app_factory is required")
     if boundary not in BOUNDARIES:
         raise ValueError(f"boundary must be one of {sorted(BOUNDARIES)}: {boundary!r}")
-    config = config or ClusterConfig(f=f)
+    config = _apply_batching(config, f, batching)
     env = Environment()
     rng = RngTree(seed)
     tracer = Tracer(enabled=trace)

@@ -22,6 +22,7 @@ from ..analysis.metrics import Collector, Summary
 from ..apps.base import Operation, OpKind, Payload
 from ..apps.echo import EchoService
 from ..apps.httpd import HttpPageService, get_operation, post_operation, seed_pages
+from ..hybster.config import BatchConfig
 from ..sim.network import GBPS, NicConfig
 from ..troxy.monitor import ConflictMonitor
 from ..workloads.loadgen import ClosedLoop, PacedLoop
@@ -116,6 +117,7 @@ def _run_system(
     fast_reads: bool = True,
     replica_cores: int = 2,
     request_distribution: str = "leader",
+    batching=None,
     obs=None,
 ):
     """Build one deployment, drive it closed-loop, return (cluster, Summary).
@@ -140,7 +142,7 @@ def _run_system(
     if system == "bl":
         cluster = build_baseline(
             seed=seed, app_factory=app_factory, wan=wan, client_nic=client_nic,
-            replica_cores=replica_cores,
+            replica_cores=replica_cores, batching=batching,
         )
         if obs is not None:
             obs.attach(cluster)
@@ -161,6 +163,7 @@ def _run_system(
             monitor_factory=monitor_factory,
             fast_reads=fast_reads,
             replica_cores=replica_cores,
+            batching=batching,
         )
         if obs is not None:
             obs.attach(cluster)
@@ -328,6 +331,75 @@ def fig10_write_contention(
     # Troxy with the adaptive total-order switch at its default threshold.
     run("etroxy", "troxy-adaptive")
     run("etroxy", "troxy-ordered", fast_reads=False)
+    return points
+
+
+# -- Batching sweep (docs/BATCHING.md) -------------------------------------------------------------
+
+
+def batching_throughput(
+    n_clients: Optional[int] = None,
+    duration: float = 0.25,
+    request_size: int = 1024,
+    settings: tuple = ("off", "1", "4", "16", "adaptive"),
+    read_reply_size: int = 1024,
+) -> list[Point]:
+    """Agreement-batching sweep on the fig6-style local write workload.
+
+    One fixed client count, swept over batch settings. "off" is the
+    pre-batching path (unbounded slot concurrency, no batch layer) and
+    serves as the unbatched reference the CI smoke compares against.
+    The numeric settings are ``BatchConfig.sized(n)``: all share the
+    same fixed two-deep agreement pipeline, so batch size is the only
+    variable — the classic batching ablation, where size 1 means one
+    request per certified counter value. "adaptive" is the tuned
+    arrival-rate-driven default. A fig8-style fast-read guard runs at
+    batching off/adaptive — batched agreement must not move the
+    fast-read p50, because fast reads never enter the ordering pipeline.
+    """
+    n_clients = n_clients if n_clients is not None else 32
+    points = []
+    for setting in settings:
+        batching = (
+            "off" if setting == "off"
+            else BatchConfig.adaptive_default() if setting == "adaptive"
+            else BatchConfig.sized(int(setting))
+        )
+        cluster, summary = _run_system(
+            "etroxy", write_source(request_size), reply_size=10,
+            n_clients=n_clients, warmup=0.1, duration=duration,
+            batching=batching,
+        )
+        stats = cluster.leader.stats
+        points.append(Point(
+            "batching-writes", f"etroxy/b={setting}", setting, summary,
+            extra={
+                "sim": cluster.sim_stats,
+                "batches": stats.batches_sent,
+                "batched_requests": stats.batched_requests,
+                "avg_batch": (
+                    stats.batched_requests / stats.batches_sent
+                    if stats.batches_sent else 1.0
+                ),
+                "max_pipeline_depth": stats.max_pipeline_depth,
+                "flush_reasons": {
+                    "size": stats.batch_flush_size,
+                    "idle": stats.batch_flush_idle,
+                    "drain": stats.batch_flush_drain,
+                    "timeout": stats.batch_flush_timeout,
+                },
+            },
+        ))
+    for setting in ("off", "adaptive"):
+        cluster, summary = _run_system(
+            "etroxy", read_source(), reply_size=read_reply_size,
+            n_clients=n_clients, warmup=0.1, duration=duration,
+            batching="off" if setting == "off" else BatchConfig.adaptive_default(),
+        )
+        points.append(Point(
+            "batching-reads", f"etroxy/b={setting}", setting, summary,
+            extra={"sim": cluster.sim_stats},
+        ))
     return points
 
 

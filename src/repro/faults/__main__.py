@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.faults --scenarios all --seeds 20 --report out.json
     python -m repro.faults --scenarios troxy_crash_failover,host_tamper_replies
+    python -m repro.faults --scenarios all --batch 4   # batched agreement
     python -m repro.faults --list
 
 Exit status is non-zero when any (scenario, seed) run violates an
@@ -39,6 +40,14 @@ def main(argv=None) -> int:
         help="run each scenario at seeds 0..N-1 (default: 5)",
     )
     parser.add_argument(
+        "--batch",
+        default=None,
+        metavar="SETTING",
+        help="agreement-batching setting for every run: 'off', a batch "
+        "size (1/4/16 route through the batch loop), or 'adaptive' "
+        "(default: off)",
+    )
+    parser.add_argument(
         "--report",
         metavar="PATH",
         help="write the full JSON report to PATH ('-' for stdout)",
@@ -61,7 +70,7 @@ def main(argv=None) -> int:
     if args.seeds < 1:
         parser.error("--seeds must be at least 1")
 
-    report = run_campaign(names, list(range(args.seeds)))
+    report = run_campaign(names, list(range(args.seeds)), batching=args.batch)
 
     if args.report == "-":
         print(report_to_json(report), end="")

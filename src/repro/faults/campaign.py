@@ -55,8 +55,16 @@ def _workload_driver(env, client, spec: WorkloadSpec, rng, state: DriverState):
     state.done = True
 
 
-def run_scenario(scenario: Scenario, seed: int, registry=None, obs=None) -> dict:
+def run_scenario(
+    scenario: Scenario, seed: int, registry=None, obs=None, batching=None
+) -> dict:
     """Run one scenario at one seed; returns a JSON-serialisable result.
+
+    ``batching`` optionally forces an agreement-batching setting on the
+    cluster (anything :func:`repro.bench.clusters.resolve_batching`
+    accepts, e.g. ``"4"`` or ``"adaptive"``); the invariants are
+    batching-agnostic, so the same catalogue re-runs at any batch size
+    (docs/BATCHING.md).
 
     ``registry`` optionally accepts a :class:`repro.obs.Registry`
     (duck-typed — no obs import here): campaign outcomes are emitted as
@@ -71,7 +79,8 @@ def run_scenario(scenario: Scenario, seed: int, registry=None, obs=None) -> dict
     """
     rng_tree = RngTree(seed)
     cluster = build_troxy(
-        seed=seed, app_factory=KvStore, **scenario.build_kwargs()
+        seed=seed, app_factory=KvStore, batching=batching,
+        **scenario.build_kwargs(),
     )
     recorder = HistoryRecorder(cluster.env)
     plane = FaultPlane(
@@ -186,6 +195,7 @@ def run_scenario(scenario: Scenario, seed: int, registry=None, obs=None) -> dict
     return {
         "scenario": scenario.name,
         "seed": seed,
+        "batching": "off" if batching is None else str(batching),
         "paper_ref": scenario.paper_ref,
         "horizon": scenario.horizon,
         "ok": ok,
@@ -206,13 +216,17 @@ def resolve_scenarios(spec: str) -> list[str]:
     return names
 
 
-def run_campaign(names: list[str], seeds: list[int], registry=None) -> dict:
+def run_campaign(
+    names: list[str], seeds: list[int], registry=None, batching=None
+) -> dict:
     """Run every (scenario, seed) pair and aggregate a report."""
     results = []
     for name in names:
         scenario = get_scenario(name)
         for seed in seeds:
-            results.append(run_scenario(scenario, seed, registry=registry))
+            results.append(
+                run_scenario(scenario, seed, registry=registry, batching=batching)
+            )
     failed = [
         {"scenario": r["scenario"], "seed": r["seed"]}
         for r in results
@@ -222,6 +236,7 @@ def run_campaign(names: list[str], seeds: list[int], registry=None) -> dict:
         "tool": "repro.faults",
         "scenarios": names,
         "seeds": seeds,
+        "batching": "off" if batching is None else str(batching),
         "runs": results,
         "summary": {
             "total": len(results),

@@ -1,0 +1,108 @@
+"""Leader-side batch assembly (pure logic, no simulation dependencies).
+
+The :class:`BatchAssembler` owns the leader's request buffer and decides
+when a batch should be cut: on size (the cutoff filled), on time (the
+oldest buffered request waited ``batch_wait``), on an idle pipeline
+(nothing in flight to overlap with, so waiting would only add latency),
+or on drain (a pipeline slot freed and the configuration never waits).
+
+Keeping the policy free of :mod:`repro.sim` types makes it directly
+property-testable (``tests/property/test_batching_properties.py``): the
+replica feeds it requests and timestamps, and everything it returns is a
+pure function of that sequence.
+
+Adaptive cutoff: with ``BatchConfig.adaptive`` the assembler tracks an
+EWMA of request inter-arrival gaps and aims the cutoff at the number of
+requests expected to arrive within one ``batch_wait`` window — light
+load degrades towards single-request batches (no added latency), heavy
+load grows batches towards ``max_batch`` (amortized certification).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .config import BatchConfig
+from .messages import Request
+
+#: Smoothing factor for the inter-arrival EWMA; small enough to ride out
+#: bursts, large enough to track a load shift within tens of requests.
+_EWMA_ALPHA = 0.2
+
+
+class BatchAssembler:
+    """FIFO request buffer with size/time/pipeline flush policy."""
+
+    def __init__(self, config: BatchConfig):
+        self.config = config
+        self._buffer: deque[tuple[Request, float]] = deque()
+        self._ewma_gap: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def pending(self) -> tuple[Request, ...]:
+        """Snapshot of buffered requests in arrival order (tests)."""
+        return tuple(request for request, _t in self._buffer)
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """When the oldest buffered request must flush, or None."""
+        if not self._buffer or self.config.batch_wait <= 0:
+            return None
+        return self._buffer[0][1] + self.config.batch_wait
+
+    def enqueue(self, request: Request, now: float) -> None:
+        """Buffer one request, updating the arrival-rate estimate."""
+        if self._last_arrival is not None:
+            gap = now - self._last_arrival
+            if self._ewma_gap is None:
+                self._ewma_gap = gap
+            else:
+                self._ewma_gap += _EWMA_ALPHA * (gap - self._ewma_gap)
+        self._last_arrival = now
+        self._buffer.append((request, now))
+
+    def cutoff(self) -> int:
+        """Requests worth waiting for before cutting a batch."""
+        config = self.config
+        if not config.adaptive:
+            return config.max_batch
+        if not self._ewma_gap or self._ewma_gap <= 0:
+            return config.min_batch
+        expected = int(config.batch_wait / self._ewma_gap)
+        return min(config.max_batch, max(config.min_batch, expected))
+
+    def flush_reason(self, now: float, inflight: int) -> Optional[str]:
+        """Why a batch should be cut right now, or None to keep waiting.
+
+        ``inflight`` is the number of batches ordered but not yet
+        committed; at or above ``pipeline_depth`` nothing may flush.
+        """
+        if not self._buffer or inflight >= self.config.pipeline_depth:
+            return None
+        if len(self._buffer) >= self.cutoff():
+            return "size"
+        if inflight == 0:
+            return "idle"
+        if self.config.batch_wait <= 0:
+            return "drain"
+        if now >= self._buffer[0][1] + self.config.batch_wait:
+            return "timeout"
+        return None
+
+    def take(self) -> tuple[Request, ...]:
+        """Pop the next batch (up to ``max_batch`` requests, FIFO)."""
+        count = min(len(self._buffer), self.config.max_batch)
+        return tuple(self._buffer.popleft()[0] for _ in range(count))
+
+    def drain(self) -> tuple[Request, ...]:
+        """Drop and return everything buffered (view change / restart);
+        callers un-register the dropped requests so client
+        retransmissions can be ordered again later."""
+        dropped = tuple(request for request, _t in self._buffer)
+        self._buffer.clear()
+        return dropped

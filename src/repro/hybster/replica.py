@@ -34,8 +34,10 @@ from ..sim.engine import Environment, Process
 from ..sim.network import Network, Node
 from ..sim.resources import Resource, Store
 from ..sim.trace import Tracer
+from .batching import BatchAssembler
 from .config import ClusterConfig
 from .messages import (
+    Batch,
     Checkpoint,
     Commit,
     FetchOrders,
@@ -83,6 +85,14 @@ class ReplicaStats:
     checkpoints_stable: int = 0
     state_transfers: int = 0
     invalid_messages: int = 0
+    # Batching (leader side; all zero when batching is disabled).
+    batches_sent: int = 0
+    batched_requests: int = 0
+    batch_flush_size: int = 0
+    batch_flush_timeout: int = 0
+    batch_flush_idle: int = 0
+    batch_flush_drain: int = 0
+    max_pipeline_depth: int = 0
 
 
 class Replica:
@@ -142,6 +152,17 @@ class Replica:
         # executed; kept in sync by the order/execute/truncate paths so
         # _progress_made() is O(1) instead of scanning the log.
         self._unexec_ordered = 0
+        # Leader-side batching (docs/BATCHING.md). With the default
+        # BatchConfig the assembler is absent and submit() takes the
+        # exact pre-batching ordering path.
+        self._batcher = (
+            BatchAssembler(config.batching) if config.batching.enabled else None
+        )
+        self._batch_signal = Store(env) if self._batcher is not None else None
+        # Slots holding a batch this leader ordered but has not yet seen
+        # committed; its size is the pipeline occupancy.
+        self._inflight_batch_seqs: set[int] = set()
+        self._batch_generation = 0
 
         # Hot-path constants: every message charges serialize/hash/MAC
         # costs, so the linear-model coefficients are pinned as locals of
@@ -164,6 +185,11 @@ class Replica:
             self.counters.create(self._order_counter(0))
 
         self.reply_sink: Callable = self._default_reply_sink
+        # Batched counterpart: receives the ordered (request, reply)
+        # pairs of one executed batch in a single call, so a Troxy sink
+        # can invalidate every written key before any reply in the batch
+        # becomes visible (fast-read freshness across batch boundaries).
+        self.batch_reply_sink: Callable = self._default_batch_reply_sink
         # Fault-injection hook: when set, every dispatched payload is
         # offered to the filter first; returning False swallows it
         # (models a mute/selectively-deaf replica without touching links).
@@ -183,6 +209,8 @@ class Replica:
             env.process(self._message_loop(0), name=f"{replica_id}:loop")
         env.process(self._execution_loop(), name=f"{replica_id}:exec")
         env.process(self._progress_monitor(), name=f"{replica_id}:monitor")
+        if self._batcher is not None:
+            env.process(self._batch_loop(0), name=f"{replica_id}:batcher")
 
     # -- identity helpers ------------------------------------------------------
 
@@ -243,6 +271,14 @@ class Replica:
     def _broadcast(self, msg, trace: str = "") -> None:
         for rid in self._peers:
             self._send(rid, msg, trace)
+
+    def _request_trace(self, request: Request) -> str:
+        """Per-request trace label for relayed/forwarded requests, so a
+        request stays attributable in the trace once batching aggregates
+        the downstream ordering records."""
+        if not self.tracer.enabled:
+            return ""
+        return f"client={request.client_id} rid={request.request_id}"
 
     def _tagged(self, msg) -> Tagged:
         """Wrap with a troxy-group HMAC tag (checkpoint-class messages)."""
@@ -362,7 +398,10 @@ class Replica:
                 yield from self.node.compute(
                     self._tx_cost(request.wire_size) + self._mac_cost_const
                 )
-                self._broadcast(self._tagged(Forward(request, self.replica_id)))
+                self._broadcast(
+                    self._tagged(Forward(request, self.replica_id)),
+                    trace=self._request_trace(request),
+                )
             return
         if self._view_change_pending is not None:
             return  # drop during view change; clients retransmit
@@ -370,10 +409,18 @@ class Replica:
             if (request.client_id, request.request_id) in self._inflight:
                 return
             self._inflight.add((request.client_id, request.request_id))
-            yield from self._order(request)
+            if self._batcher is None:
+                yield from self._order(request)
+            else:
+                self._batcher.enqueue(request, self.env.now)
+                self._batch_signal.put(True)
         elif relay:
             yield from self.node.compute(self._tx_cost(request.wire_size) + self._mac_cost_const)
-            self._send(self.leader_id, self._tagged(Forward(request, self.replica_id)))
+            self._send(
+                self.leader_id,
+                self._tagged(Forward(request, self.replica_id)),
+                trace=self._request_trace(request),
+            )
             self._note_progress_needed()
         else:
             self._note_progress_needed()
@@ -394,12 +441,16 @@ class Replica:
 
     # -- ordering: leader ------------------------------------------------------------------
 
-    def _order(self, request: Request):
+    def _order(self, payload):
+        """Assign the next slot to ``payload`` (a Request, or a Batch of
+        requests when batching cut a multi-request batch) and broadcast
+        the counter-certified ORDER. One certification per slot — that
+        amortization is the point of batching."""
         if not self.is_leader:
             return
         span = None
         if self.obs is not None:
-            span = self.obs.order_begin(self, request)
+            span = self.obs.order_begin(self, payload)
         seq = -1
         try:
             # The trusted order counter is a single monotonic resource:
@@ -410,10 +461,12 @@ class Replica:
                     return
                 seq = self.next_seq
                 self.next_seq += 1
-                request_digest = request.digest()
-                content = Order.content_digest(self.view, seq, request_digest)
+                if self._batcher is not None:
+                    self._inflight_batch_seqs.add(seq)
+                payload_digest = payload.digest()
+                content = Order.content_digest(self.view, seq, payload_digest)
                 if self.obs is not None:
-                    self.obs.certify_scope(self.node.name, request)
+                    self.obs.certify_scope(self.node.name, payload)
                 # Counter certification crosses the trusted boundary (JNI/SGX).
                 cert = yield from self.boundary.ecall(
                     "certify_order",
@@ -427,7 +480,7 @@ class Replica:
                 if self.obs is not None:
                     self.obs.certify_scope_end(self.node.name)
                 self._order_lock.release()
-            order = Order(self.view, seq, request, cert, self.replica_id)
+            order = Order(self.view, seq, payload, cert, self.replica_id)
             entry = self.log.setdefault(seq, LogEntry())
             self._install_order(entry, order)
             entry.commit_senders[self.replica_id] = cert  # the ORDER is the leader's commit
@@ -439,6 +492,83 @@ class Replica:
         finally:
             if span is not None:
                 self.obs.order_end(span, seq)
+
+    # -- ordering: leader batching ------------------------------------------------------------
+
+    def _batch_loop(self, generation: int):
+        """The only process that cuts and orders batches on this leader.
+
+        Serializing flushes through one process keeps batch formation
+        deterministic and makes the take-buffer/assign-slot step atomic
+        (no yield between them), so FIFO arrival order maps onto
+        monotonically increasing slot numbers.
+        """
+        signal = self._batch_signal
+        while True:
+            yield signal.get()
+            if generation != self._batch_generation:
+                if not self._stopped:
+                    signal.put(True)  # hand the wakeup to the fresh loop
+                return
+            if self._stopped:
+                return
+            yield from self._drain_batches(generation)
+            if self._stopped or generation != self._batch_generation:
+                return
+
+    def _drain_batches(self, generation: int):
+        """Cut and order batches while the flush policy allows it."""
+        batcher = self._batcher
+        while (
+            not self._stopped
+            and generation == self._batch_generation
+            and self.is_leader
+            and self._view_change_pending is None
+        ):
+            inflight = len(self._inflight_batch_seqs)
+            reason = batcher.flush_reason(self.env.now, inflight)
+            if reason is not None:
+                requests = batcher.take()
+                if not requests:
+                    return
+                payload = requests[0] if len(requests) == 1 else Batch(requests)
+                self.stats.batches_sent += 1
+                self.stats.batched_requests += len(requests)
+                counter = "batch_flush_" + reason
+                setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+                depth = inflight + 1
+                if depth > self.stats.max_pipeline_depth:
+                    self.stats.max_pipeline_depth = depth
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        self.env.now, "proto.batch", self.replica_id,
+                        f"n={len(requests)} reason={reason} depth={depth}",
+                    )
+                if self.obs is not None:
+                    self.obs.batch_flush(self, len(requests), reason, depth)
+                yield from self._order(payload)
+                continue
+            deadline = batcher.deadline
+            if deadline is None or inflight >= batcher.config.pipeline_depth:
+                return  # nothing to do until the next enqueue/commit signal
+            # Buffered below the cutoff with the pipeline still moving:
+            # wait for the flush deadline or more arrivals, whichever
+            # comes first, then re-evaluate.
+            get_event = self._batch_signal.get()
+            timeout = self.env.timeout(deadline - self.env.now)
+            yield self.env.any_of((get_event, timeout))
+            if not get_event.triggered:
+                self._batch_signal.cancel(get_event)
+
+    def _drop_batch_backlog(self) -> None:
+        """Discard buffered-but-unordered requests (view change, restart,
+        leadership loss). Un-registering them from ``_inflight`` lets
+        client retransmissions be ordered again later."""
+        if self._batcher is None:
+            return
+        for request in self._batcher.drain():
+            self._inflight.discard((request.client_id, request.request_id))
+        self._inflight_batch_seqs.clear()
 
     # -- ordering: follower -------------------------------------------------------------------
 
@@ -528,11 +658,20 @@ class Replica:
             entry.committed = True
             if self.tracer.enabled:
                 self.tracer.record(self.env.now, "proto.commit", self.replica_id, f"seq={seq}")
-            if (
-                self.obs is not None
-                and entry.order.request.client_id != NOOP_REQUEST_CLIENT
-            ):
-                self.obs.order_committed(self, entry.order.request, seq)
+            if self.obs is not None:
+                payload = entry.order.request
+                requests = (
+                    payload.requests if type(payload) is Batch else (payload,)
+                )
+                for request in requests:
+                    if request.client_id != NOOP_REQUEST_CLIENT:
+                        self.obs.order_committed(self, request, seq)
+            if self._batcher is not None and seq in self._inflight_batch_seqs:
+                # A pipeline slot freed up; if backlog is waiting, wake
+                # the batch loop so it can cut the next batch.
+                self._inflight_batch_seqs.discard(seq)
+                if len(self._batcher):
+                    self._batch_signal.put(True)
             self._exec_signal.put(seq)
 
     # -- execution ----------------------------------------------------------------------------
@@ -556,7 +695,9 @@ class Replica:
         entry.executed = True
         self._unexec_ordered -= 1
         request = entry.order.request
-        if request.client_id != NOOP_REQUEST_CLIENT:
+        if type(request) is Batch:
+            yield from self._execute_batch(seq, request)
+        elif request.client_id != NOOP_REQUEST_CLIENT:
             span = None
             if self.obs is not None:
                 span = self.obs.execute_begin(self, request, seq)
@@ -585,6 +726,48 @@ class Replica:
         self._progress_made()
         if seq % self.config.checkpoint_interval == 0:
             yield from self._emit_checkpoint(seq)
+
+    def _execute_batch(self, seq: int, batch: Batch):
+        """Execute every entry of a batched slot in order, then hand all
+        (request, reply) pairs to the batch sink in one call — the sink
+        must make no reply visible before it has invalidated every key
+        the batch wrote (fast-read freshness)."""
+        pairs = []
+        for request in batch.requests:
+            if request.client_id == NOOP_REQUEST_CLIENT:
+                continue
+            span = None
+            if self.obs is not None:
+                span = self.obs.execute_begin(self, request, seq)
+            try:
+                yield from self.node.compute(self.app.execution_cost(request.op))
+                result = self.app.execute(request.op)
+                reply = Reply(
+                    replica_id=self.replica_id,
+                    client_id=request.client_id,
+                    request_id=request.request_id,
+                    result=result,
+                    request_digest=request.digest(),
+                    view=self.view,
+                )
+                self._executed_requests[request.client_id] = request.request_id
+                self._last_reply[request.client_id] = reply
+                self._inflight.discard((request.client_id, request.request_id))
+                self.stats.executions += 1
+                if self.tracer.enabled:
+                    self.tracer.record(self.env.now, "proto.execute", self.replica_id,
+                                       f"seq={seq} client={request.client_id} rid={request.request_id}")
+                pairs.append((request, reply))
+            finally:
+                if span is not None:
+                    self.obs.execute_end(span)
+        if pairs:
+            yield from self.batch_reply_sink(pairs)
+
+    def _default_batch_reply_sink(self, pairs):
+        """Baseline deployment: batched replies are independent sends."""
+        for request, reply in pairs:
+            yield from self._emit_reply(request, reply)
 
     def _execute_unordered_read(self, request: Request):
         """The PBFT-like read optimization: execute against current state."""
@@ -760,6 +943,13 @@ class Replica:
                 name=f"{self.replica_id}:loop",
             )
         self.env.process(self._progress_monitor(), name=f"{self.replica_id}:monitor")
+        if self._batcher is not None:
+            self._drop_batch_backlog()
+            self._batch_generation += 1
+            self.env.process(
+                self._batch_loop(self._batch_generation),
+                name=f"{self.replica_id}:batcher",
+            )
         self.env.process(
             self._maybe_request_state(probe=True), name=f"{self.replica_id}:catchup"
         )
@@ -837,6 +1027,7 @@ class Replica:
             return
         self.stats.view_changes += 1
         self._view_change_pending = new_view
+        self._drop_batch_backlog()
         self._progress_deadline = self.env.now + self.config.progress_timeout
         prepared = tuple(
             entry.order
@@ -915,6 +1106,7 @@ class Replica:
         max_seq = max(union, default=self.stable_seq)
         self.view = new_view
         self._view_change_pending = None
+        self._drop_batch_backlog()
         self._ensure_counter(self._order_counter(new_view))
         self._ensure_counter(self._commit_counter(new_view))
         self._pending_orders.clear()
@@ -988,6 +1180,7 @@ class Replica:
             self._truncate_log()
         self.view = nv.view
         self._view_change_pending = None
+        self._drop_batch_backlog()
         self._ensure_counter(self._commit_counter(nv.view))
         self._pending_orders.clear()
         self._next_order_intake = self.stable_seq + 1

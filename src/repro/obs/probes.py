@@ -288,13 +288,27 @@ class ObsPlane:
 
     # -- hybster ordering & execution ------------------------------------------------------
 
-    def order_begin(self, replica, request):
-        trace = _maybe_trace(request)
+    def order_begin(self, replica, payload):
+        requests = getattr(payload, "requests", None)  # Batch
+        if requests is None:
+            trace = _maybe_trace(payload)
+            span = self.spans.begin(
+                "hybster.order", self.now, trace_id=trace, node=replica.node.name,
+            )
+            if trace is not None:
+                self._order_span[trace] = span
+            return span
+        # Batched slot: one order span, registered under every member
+        # request's trace so each per-request execute span stays
+        # attributable after batching aggregated the agreement step.
         span = self.spans.begin(
-            "hybster.order", self.now, trace_id=trace, node=replica.node.name,
+            "hybster.order", self.now, node=replica.node.name,
+            batch=len(requests),
         )
-        if trace is not None:
-            self._order_span[trace] = span
+        for request in requests:
+            trace = _maybe_trace(request)
+            if trace is not None:
+                self._order_span[trace] = span
         return span
 
     def order_end(self, span: Span, seq: int) -> None:
@@ -304,14 +318,35 @@ class ObsPlane:
             "orders_total", "Slots assigned by the leader", node=span.node,
         ).inc()
 
-    def certify_scope(self, node_name: str, request) -> None:
-        """Leader is about to certify ``request``'s slot on this node."""
-        trace = _maybe_trace(request)
+    def certify_scope(self, node_name: str, payload) -> None:
+        """Leader is about to certify ``payload``'s slot on this node.
+
+        For a batched slot the certification is attributed to the first
+        request of the batch (one counter value covers all of them)."""
+        requests = getattr(payload, "requests", None)  # Batch
+        if requests is not None:
+            payload = requests[0] if requests else None
+        trace = _maybe_trace(payload) if payload is not None else None
         if trace is not None:
             self._certify_trace[node_name] = trace
 
     def certify_scope_end(self, node_name: str) -> None:
         self._certify_trace.pop(node_name, None)
+
+    def batch_flush(self, replica, size: int, reason: str, depth: int) -> None:
+        """Leader cut one batch: occupancy, flush reason, pipeline depth."""
+        node = replica.node.name
+        self.registry.counter(
+            "batch_flushes_total", "Batches cut by the leader",
+            node=node, reason=reason,
+        ).inc()
+        self.registry.histogram(
+            "batch_occupancy", "Requests per cut batch", node=node,
+        ).observe(size)
+        self.registry.gauge(
+            "batch_pipeline_depth", "Batches in flight after this flush",
+            node=node,
+        ).set(depth)
 
     def order_committed(self, replica, request, seq: int) -> None:
         self.spans.event(

@@ -47,6 +47,7 @@ class CacheStats:
     invalidations: int = 0
     evictions: int = 0
     clears: int = 0
+    batch_sweeps: int = 0  # up-front whole-batch invalidation passes
 
 
 class FastReadCache:
@@ -66,6 +67,12 @@ class FastReadCache:
         self.stats = CacheStats()
         self._entries: OrderedDict[bytes, CacheEntry] = OrderedDict()
         self._key_index: dict[str, set[bytes]] = {}
+        # Per-key invalidation epochs: bumped on every write invalidation
+        # (whether or not an entry existed), so the voter can tell that a
+        # read result crossed a write and must not be (re-)installed —
+        # see key_epoch() and TroxyCore._vote.
+        self._epoch = 0
+        self._key_epoch: dict[str, int] = {}
         if enclave is not None:
             enclave.on_reboot(self.clear)
 
@@ -126,14 +133,43 @@ class FastReadCache:
 
         Called while processing a write, *before* the write's reply is
         authenticated — the ordering that makes fast reads linearizable.
+
+        The per-key epoch is bumped even when no entry exists: the point
+        is to fence *in-flight* read results (a voted read completing
+        after this write must not install a pre-write value).
         """
         removed = 0
+        self._epoch += 1
         for key in keys:
+            self._key_epoch[key] = self._epoch
             for digest in list(self._key_index.get(key, ())):
                 if self.remove(digest):
                     removed += 1
         self.stats.invalidations += removed
         return removed
+
+    def key_epoch(self, keys) -> int:
+        """Latest invalidation epoch across ``keys`` (0 = never written).
+
+        The voter snapshots this when an ordered read enters the vote and
+        compares it again before installing the voted result: if any of
+        the read's keys were invalidated in between, a write overtook the
+        read in real time and installing the result would resurrect a
+        stale entry that the write already purged.
+        """
+        return max((self._key_epoch.get(key, 0) for key in keys), default=0)
+
+    def invalidate_batch(self, keys) -> int:
+        """One up-front sweep over the union of a batch's written keys.
+
+        Called before *any* reply of a batched slot is authenticated, so
+        no reply in the batch can become visible while an entry it
+        outdates is still servable (docs/BATCHING.md). Each key in the
+        union is visited once even when several writes in the batch
+        touch it.
+        """
+        self.stats.batch_sweeps += 1
+        return self.invalidate_keys(keys)
 
     def clear(self) -> None:
         """Drop everything (enclave reboot: volatile state is lost)."""

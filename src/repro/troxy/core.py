@@ -33,7 +33,7 @@ from ..hybster.secure import SecureEnvelope, open_body, seal_body
 from ..sgx.enclave import Enclave
 from ..sim.network import Node
 from .cache import FastReadCache
-from .messages import CacheEntryReply, CacheQuery
+from .messages import BatchedReply, CacheEntryReply, CacheQuery
 from .monitor import ConflictMonitor
 
 
@@ -47,6 +47,7 @@ class Action:
       "query"  — send each (replica_id, CacheQuery) in ``queries`` and
                  arm a timeout for ``nonce``;
       "send_reply" — send the authenticated ``reply`` to replica ``dst``;
+      "send_reply_batch" — send ``batch`` (a BatchedReply) to replica ``dst``;
       "deliver_local" — feed ``reply`` to the local voter;
       "wait"   — nothing yet;
       "drop"   — discard (failed authentication etc.).
@@ -57,6 +58,7 @@ class Action:
     envelope: Optional[SecureEnvelope] = None
     request: Optional[Request] = None
     reply: Optional[Reply] = None
+    batch: Optional[BatchedReply] = None
     queries: tuple = ()
     nonce: int = 0
     reason: str = ""
@@ -71,6 +73,10 @@ class _Pending:
     client_machine: str
     votes: dict[str, Reply] = field(default_factory=dict)
     done: bool = False
+    #: cache invalidation epoch of the read's keys when the request
+    #: entered the voter; a higher epoch at quorum time means a write
+    #: overtook this read and its result must not be installed.
+    install_epoch: int = 0
 
 
 @dataclass
@@ -97,6 +103,16 @@ class TroxyStats:
     invalid_messages: int = 0
     cache_queries_answered: int = 0
     pending_evicted: int = 0
+    # Batched agreement (docs/BATCHING.md): whole-batch authenticate
+    # ecalls and the replies carried by them, plus inbound vote bundles
+    # verified with one aggregate MAC.
+    reply_batches: int = 0
+    batched_replies: int = 0
+    vote_batches: int = 0
+    batched_votes: int = 0
+    #: voted read results discarded instead of installed because a write
+    #: invalidated their keys while the vote was in flight.
+    stale_installs_skipped: int = 0
 
 
 class TroxyCore:
@@ -213,7 +229,12 @@ class TroxyCore:
     def _order(self, client_request: Request, bft_request: Request, client_machine: str) -> Action:
         self.stats.ordered_requests += 1
         key = (bft_request.client_id, bft_request.request_id)
-        self._pending[key] = _Pending(client_request, bft_request, client_machine)
+        pending = _Pending(client_request, bft_request, client_machine)
+        if self.fast_reads and bft_request.op.is_read:
+            pending.install_epoch = self.cache.key_epoch(
+                self.keys_fn(bft_request.op)
+            )
+        self._pending[key] = pending
         while len(self._pending) > self.MAX_PENDING:
             self._pending.pop(next(iter(self._pending)))
             self.stats.pending_evicted += 1
@@ -396,6 +417,96 @@ class TroxyCore:
             return (yield from self._vote(authenticated))
         return Action("send_reply", dst=request.origin, reply=authenticated)
 
+    def authenticate_batch_replies(self, pairs, fresh: bool = True):
+        """Invalidate-and-authenticate for one executed *batch* of the
+        local replica (ecall #8), one enclave crossing for the whole
+        batch instead of one per reply.
+
+        Freshness across the batch (Section IV-B extended to batched
+        agreement, docs/BATCHING.md): every key written anywhere in the
+        batch is invalidated in one up-front sweep, before *any* reply
+        of the batch is authenticated — so no reply can become visible
+        while a cache entry it outdates is still servable. Within the
+        batch, installs and invalidations then replay in execution
+        order, so a read ordered before a write to the same key in the
+        same batch cannot resurrect a stale entry.
+
+        Authentication is amortized along with the crossing: replies
+        bound for the *local* voter are counted inside this same ecall
+        (no per-reply tag needed — they never leave the enclave), and
+        replies bound for each remote origin are bundled into one
+        :class:`BatchedReply` authenticated with a single MAC over the
+        bundle, instead of one MAC and one message per reply.
+
+        Returns the local voter's Actions (in batch order) followed by
+        one "send_reply_batch" Action per remote origin.
+        """
+        self.stats.reply_batches += 1
+        self.stats.batched_replies += len(pairs)
+        union: set = set()
+        for request, _reply in pairs:
+            if not request.op.is_read:
+                union.update(self.keys_fn(request.op))
+        if union:
+            yield from self.node.compute(self._hash_cost_64 * len(union))
+            self.cache.invalidate_batch(union)
+        actions = []
+        outbound: dict[str, list[Reply]] = {}
+        for request, reply in pairs:
+            if not request.op.is_read:
+                # The up-front sweep already charged and cleared these
+                # keys; this pass only kills entries installed by reads
+                # ordered earlier in this same batch (idempotent).
+                self.cache.invalidate_keys(self.keys_fn(request.op))
+            elif self.fast_reads and fresh:
+                yield from self.node.compute(
+                    self._hash_base + self._hash_per_byte * request.op.size
+                )
+                self.cache.install(
+                    self._cache_key(request.op), reply, self.keys_fn(request.op)
+                )
+            if request.origin == self.replica_id:
+                actions.append((yield from self._vote(reply)))
+            else:
+                outbound.setdefault(request.origin, []).append(reply)
+        for origin, replies in outbound.items():
+            bundle_bytes = sum(reply.wire_size for reply in replies)
+            yield from self.node.compute(self._mac_base + self._mac_per_byte * bundle_bytes)
+            tag = self._instance_key.sign(BatchedReply.auth_input(self.replica_id, replies))
+            actions.append(
+                Action(
+                    "send_reply_batch",
+                    dst=origin,
+                    batch=BatchedReply(self.replica_id, tuple(replies), tag),
+                )
+            )
+        return tuple(actions)
+
+    def handle_replica_reply_batch(self, batch: BatchedReply):
+        """The server-side voter for one reply bundle (ecall #9): verify
+        the single bundle MAC, then count every carried vote — one
+        enclave crossing and one MAC check for the whole bundle."""
+        self.stats.vote_batches += 1
+        self.stats.batched_votes += len(batch.replies)
+        yield from self.node.compute(self._mac_base + self._mac_per_byte * batch.wire_size)
+        sender_key = self.keyring.troxy_instance(batch.sender)
+        if not sender_key.verify(
+            BatchedReply.auth_input(batch.sender, batch.replies), batch.tag
+        ):
+            self.stats.invalid_messages += 1
+            return (Action("drop", reason="bad batched reply tag"),)
+        actions = []
+        for reply in batch.replies:
+            if reply.replica_id != batch.sender:
+                # The bundle tag only vouches for the sender's own
+                # replies; a relayed vote under another replica id would
+                # let one faulty Troxy stuff the ballot.
+                self.stats.invalid_messages += 1
+                actions.append(Action("drop", reason="vote for foreign replica id"))
+                continue
+            actions.append((yield from self._vote(reply)))
+        return tuple(actions)
+
     def handle_replica_reply(self, reply: Reply):
         """The server-side voter (ecall #7): verify the Troxy
         authentication and count the vote; on f+1 matching replies seal
@@ -433,12 +544,19 @@ class TroxyCore:
             del self._pending[key]
             self.stats.replies_voted += 1
             if self.fast_reads and pending.bft_request.op.is_read:
-                # Install the *voted* ordered-read result.
-                self.cache.install(
-                    self._cache_key(pending.bft_request.op),
-                    reply,
-                    self.keys_fn(pending.bft_request.op),
-                )
+                # Install the *voted* ordered-read result — unless a
+                # write to any of its keys was invalidated while the
+                # quorum was forming. A late vote completing after such a
+                # write would otherwise resurrect the exact entry the
+                # write purged, and f other lagging Troxies could then
+                # corroborate the stale value into a fast read.
+                keys = self.keys_fn(pending.bft_request.op)
+                if self.cache.key_epoch(keys) == pending.install_epoch:
+                    self.cache.install(
+                        self._cache_key(pending.bft_request.op), reply, keys
+                    )
+                else:
+                    self.stats.stale_installs_skipped += 1
             envelope = yield from self._seal_client_reply(
                 pending.client_request, reply.result, reply.request_digest
             )

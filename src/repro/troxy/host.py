@@ -19,7 +19,7 @@ from ..sgx.enclave import Enclave
 from ..sim.engine import Environment, Process
 from ..sim.network import Network, Node
 from .core import Action, TroxyCore
-from .messages import CacheEntryReply, CacheQuery
+from .messages import BatchedReply, CacheEntryReply, CacheQuery
 
 #: ecalls the host registers on the enclave; together with Hybster's
 #: three trusted-subsystem certify calls this stays well under the
@@ -31,7 +31,9 @@ TROXY_ECALLS = (
     "handle_cache_entry_reply",
     "fast_read_timeout",
     "authenticate_local_reply",
+    "authenticate_batch_replies",
     "handle_replica_reply",
+    "handle_replica_reply_batch",
 )
 
 
@@ -61,6 +63,7 @@ class TroxyHost:
         for name in TROXY_ECALLS:
             enclave.register_ecall(name, getattr(core, name))
         replica.reply_sink = self._local_reply_sink
+        replica.batch_reply_sink = self._local_batch_reply_sink
         self._stopped = False
         # Process names are precomputed: one handler process is spawned
         # per inbound message, and building the f-string each time shows
@@ -143,6 +146,12 @@ class TroxyHost:
                 "handle_replica_reply", payload, bytes_in=payload.wire_size
             )
             yield from self._act(action)
+        elif isinstance(payload, BatchedReply):
+            actions = yield from self.enclave.ecall(
+                "handle_replica_reply_batch", payload, bytes_in=payload.wire_size
+            )
+            for action in actions:
+                yield from self._act(action)
         else:
             self.replica.dispatch(payload)
 
@@ -165,6 +174,8 @@ class TroxyHost:
             self.net.send(self.node.name, action.dst, action.queries[0])
         elif action.kind == "send_reply":
             self.net.send(self.node.name, action.dst, action.reply)
+        elif action.kind == "send_reply_batch":
+            self.net.send(self.node.name, action.dst, action.batch)
         elif action.kind == "deliver_local":
             follow_up = yield from self.enclave.ecall(
                 "handle_replica_reply", action.reply, bytes_in=action.reply.wire_size
@@ -187,3 +198,13 @@ class TroxyHost:
             bytes_in=reply.wire_size,
         )
         yield from self._act(action)
+
+    def _local_batch_reply_sink(self, pairs):
+        """Installed as the co-located replica's batched reply sink: one
+        enclave crossing invalidates and authenticates the whole batch."""
+        actions = yield from self.enclave.ecall(
+            "authenticate_batch_replies", pairs, True,
+            bytes_in=sum(reply.wire_size for _request, reply in pairs),
+        )
+        for action in actions:
+            yield from self._act(action)

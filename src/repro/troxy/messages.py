@@ -39,6 +39,46 @@ class CacheQuery:
 
 
 @dataclass(frozen=True)
+class BatchedReply:
+    """All of one agreement batch's replies bound for one origin Troxy.
+
+    Batched agreement (docs/BATCHING.md) executes a whole batch before
+    any reply leaves the replica, so the replies for one origin can ride
+    a single message authenticated as a unit under the *sending* Troxy
+    instance's key — one MAC and one enclave crossing at each end
+    instead of one per reply. The per-reply ``troxy_tag`` is omitted;
+    the bundle tag covers every reply's auth bytes, which is the same
+    trust statement (this Troxy instance vouches for these replies).
+    """
+
+    sender: str  # replica id of the authenticating Troxy
+    replies: tuple  # tuple[Reply, ...], all with origin == the recipient
+    tag: bytes
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        if not self.replies:
+            raise ValueError("BatchedReply needs at least one reply")
+        object.__setattr__(
+            self,
+            "wire_size",
+            _HEADER
+            + len(self.sender)
+            + MAC_SIZE
+            + sum(reply.wire_size for reply in self.replies),
+        )
+
+    def __len__(self) -> int:
+        return len(self.replies)
+
+    @staticmethod
+    def auth_input(sender: str, replies) -> bytes:
+        parts = [b"BR", sender.encode()]
+        parts.extend(reply.auth_bytes() for reply in replies)
+        return b"|".join(parts)
+
+
+@dataclass(frozen=True)
 class CacheEntryReply:
     """A remote Troxy's answer: the digest of its cached reply, if any."""
 

@@ -1,9 +1,15 @@
-"""Property-based tests for the linearizability checker itself."""
+"""Property-based tests for the linearizability checker itself, plus an
+end-to-end property: real Troxy clusters produce linearizable histories
+at every agreement-batching setting (docs/BATCHING.md)."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.history import HistoryRecorder
 from repro.analysis.linearizability import OpRecord, check_key_history
+from repro.apps.kvstore import KvStore, get, put
+from repro.bench.clusters import build_troxy
+from repro.hybster.config import BatchConfig
 
 
 @st.composite
@@ -59,3 +65,54 @@ def test_widening_intervals_preserves_linearizability(history):
         for r in history
     ]
     assert check_key_history(widened)
+
+
+# -- end-to-end: batched agreement stays linearizable ---------------------------
+
+
+@st.composite
+def cluster_workloads(draw):
+    """A batching setting, cluster seed, and a contended workload (few
+    keys, several clients, mixed reads/writes with unique values)."""
+    batching = draw(
+        st.sampled_from(
+            [BatchConfig.sized(1), BatchConfig.sized(4), BatchConfig.sized(16)]
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n_clients = draw(st.integers(min_value=2, max_value=3))
+    schedules = []
+    for c in range(n_clients):
+        ops = []
+        for n in range(draw(st.integers(min_value=2, max_value=5))):
+            key = f"k{draw(st.integers(0, 1))}"
+            if draw(st.booleans()):
+                ops.append(put(key, f"c{c}/{n}".encode()))
+            else:
+                ops.append(get(key))
+        schedules.append(ops)
+    return batching, seed, schedules
+
+
+@given(cluster_workloads())
+@settings(max_examples=12, deadline=None)
+def test_batched_agreement_histories_are_linearizable(workload):
+    """Whatever the batch size, the recorded client history — fast reads,
+    cached reads, and batched ordered operations included — linearizes."""
+    batching, seed, schedules = workload
+    cluster = build_troxy(seed=seed, app_factory=KvStore, batching=batching)
+    recorder = HistoryRecorder(cluster.env)
+    done = []
+
+    def driver(index, client, ops):
+        for op in ops:
+            yield from client.invoke(op)
+        done.append(index)
+
+    for index, ops in enumerate(schedules):
+        client = recorder.wrap(cluster.new_client(contact_index=0))
+        cluster.env.process(driver(index, client, ops))
+    cluster.env.run(until=60.0)
+
+    assert len(done) == len(schedules), "workload did not complete"
+    assert recorder.violation() is None
