@@ -25,6 +25,20 @@ class KvStore(Application):
                 existed = op.key in self._data
                 self._data.pop(op.key, None)
                 return Payload(b"deleted" if existed else b"absent")
+            if op.name == "shard_install":
+                # Bulk-apply migrated state (repro.shard): the body is a
+                # length-prefixed record list, ordered like everything
+                # else so all replicas apply it at the same slot.
+                pairs = decode_kv_records(op.body.content)
+                for key, value in pairs:
+                    self._data[key] = value
+                return Payload(b"installed:%d" % len(pairs))
+            if op.name == "shard_retire":
+                removed = 0
+                for key in decode_key_list(op.body.content):
+                    if self._data.pop(key, None) is not None:
+                        removed += 1
+                return Payload(b"retired:%d" % removed)
             raise ValueError(f"unknown write operation: {op.name!r}")
         if op.name == "get":
             value = self._data.get(op.key)
@@ -62,6 +76,68 @@ class KvStore(Application):
             offset += 4
             self._data[key] = snapshot[offset: offset + value_len]
             offset += value_len
+
+
+def encode_kv_records(pairs) -> bytes:
+    """Length-prefixed (key, value) records — the snapshot wire format."""
+    parts = []
+    for key, value in pairs:
+        key_bytes = key.encode()
+        parts.append(len(key_bytes).to_bytes(4, "big"))
+        parts.append(key_bytes)
+        parts.append(len(value).to_bytes(4, "big"))
+        parts.append(value)
+    return b"".join(parts)
+
+
+def decode_kv_records(blob: bytes) -> list[tuple[str, bytes]]:
+    """Inverse of :func:`encode_kv_records` / :meth:`KvStore.snapshot`."""
+    pairs = []
+    offset = 0
+    while offset < len(blob):
+        key_len = int.from_bytes(blob[offset: offset + 4], "big")
+        offset += 4
+        key = blob[offset: offset + key_len].decode()
+        offset += key_len
+        value_len = int.from_bytes(blob[offset: offset + 4], "big")
+        offset += 4
+        pairs.append((key, blob[offset: offset + value_len]))
+        offset += value_len
+    return pairs
+
+
+def encode_key_list(keys) -> bytes:
+    parts = []
+    for key in keys:
+        key_bytes = key.encode()
+        parts.append(len(key_bytes).to_bytes(4, "big"))
+        parts.append(key_bytes)
+    return b"".join(parts)
+
+
+def decode_key_list(blob: bytes) -> list[str]:
+    keys = []
+    offset = 0
+    while offset < len(blob):
+        key_len = int.from_bytes(blob[offset: offset + 4], "big")
+        offset += 4
+        keys.append(blob[offset: offset + key_len].decode())
+        offset += key_len
+    return keys
+
+
+def shard_install(control_key: str, pairs) -> Operation:
+    """Ordered bulk state install at a migration destination group.
+
+    ``control_key`` must be pinned to the destination group (``__g{N}/``
+    namespace) so the router never forwards or freezes it.
+    """
+    return Operation(OpKind.WRITE, "shard_install", control_key, Payload(encode_kv_records(pairs)))
+
+
+def shard_retire(control_key: str, keys) -> Operation:
+    """Ordered deletion of migrated-away keys at the source group."""
+    return Operation(OpKind.WRITE, "shard_retire", control_key, Payload(encode_key_list(keys)))
 
 
 def put(key: str, value: bytes) -> Operation:

@@ -127,6 +127,40 @@ def run_batching():
     return points
 
 
+def run_sharding():
+    points = experiments.sharding_throughput()
+    writes = [p for p in points if p.figure == "sharding-writes"]
+    reads = [p for p in points if p.figure == "sharding-reads"]
+    lines = ["Sharding — fig6 local writes, 96 clients, uniform keys (etroxy)",
+             "=" * 64]
+    lines.append(
+        f"{'shards':>7} | {'op/s':>8} | {'p50 ms':>7} | {'speedup':>7} | "
+        f"{'fwd share':>9} | ring split"
+    )
+    base = writes[0].throughput if writes else 0.0
+    for point in writes:
+        split = point.extra.get("ring_split", {})
+        split_s = "/".join(str(split[g]) for g in sorted(split))
+        lines.append(
+            f"{point.x:>7} | {point.throughput:>8.0f} | "
+            f"{point.summary.p50 * 1000:>7.3f} | "
+            f"{point.throughput / base if base else 0.0:>6.2f}x | "
+            f"{point.extra.get('forward_share', 0.0):>8.0%} | {split_s}"
+        )
+    lines.append("")
+    lines.append("(fwd share counts router lookups, so a request forwarded once")
+    lines.append(" is looked up twice: share f/(1+f) for true forward fraction f)")
+    lines.append("")
+    lines.append("fig8-style fast-read guard (shards=1 must be wire-identical):")
+    for point in reads:
+        lines.append(
+            f"  {point.x:>9}: p50 {point.summary.p50 * 1000:7.3f} ms  "
+            f"({point.throughput:.0f} op/s)"
+        )
+    save_and_print("sharding", "\n".join(lines))
+    return points
+
+
 def run_table1():
     rows = experiments.table1_rows()
     lines = ["Table I — read optimizations and consistency", "=" * 46]
@@ -149,6 +183,7 @@ RUNNERS = {
     "fig11": run_fig11,
     "table1": run_table1,
     "batching": run_batching,
+    "sharding": run_sharding,
 }
 
 

@@ -295,6 +295,99 @@ BOUNDARIES = {
 }
 
 
+def _build_troxy_replica(
+    *,
+    env: Environment,
+    net: Network,
+    rng: RngTree,
+    keyring: KeyRing,
+    attestation: AttestationService,
+    tracer: Tracer,
+    config: ClusterConfig,
+    replica_id: str,
+    app_factory: Callable[[], Application],
+    boundary: str,
+    fast_reads: bool,
+    replica_cores: int,
+    monitor_factory,
+    cache_entries: int,
+    cache_outside: bool,
+    epc_bytes: Optional[int],
+    query_timeout: float,
+    router=None,
+    keys_fn=None,
+):
+    """Assemble one server: node, trusted subsystem, replica, Troxy.
+
+    Shared by :func:`build_troxy` and the sharded builder
+    (:func:`repro.shard.cluster.build_sharded`) so both wire a server
+    identically — the shard-conformance suite pins a one-group sharded
+    deployment wire-identical to this unsharded path.
+    """
+    node = net.add_node(replica_id, cores=replica_cores)
+    attestation.register_platform(replica_id)
+    tss_boundary = jni_enclave(node, f"tss-{replica_id}", code_identity="hybster-tss-v1")
+    counters = make_trusted_subsystem(
+        replica_id, keyring, attestation, tss_boundary, replica_id
+    )
+    replica = Replica(
+        env=env,
+        net=net,
+        node=node,
+        replica_id=replica_id,
+        config=config,
+        app=app_factory(),
+        keyring=keyring,
+        counters=counters,
+        trusted_boundary=tss_boundary,
+        tracer=tracer,
+        owns_inbox=False,
+    )
+    if boundary == "sgx":
+        enclave_kwargs = {} if epc_bytes is None else {"epc_bytes": epc_bytes}
+        troxy_enclave = Enclave(
+            node, f"troxy-{replica_id}", code_identity="troxy-v1",
+            costs=SGX_ECALL, **enclave_kwargs,
+        )
+        runtime = "cpp_sgx"
+    elif boundary == "jni":
+        troxy_enclave = jni_enclave(node, f"troxy-{replica_id}", code_identity="troxy-v1")
+        runtime = "cpp"
+    else:
+        troxy_enclave = null_enclave(node, f"troxy-{replica_id}")
+        runtime = "cpp"
+    # The Troxy enclave is attested before receiving the cluster keys.
+    provisioned = provision_keys(
+        attestation, replica_id, troxy_enclave, troxy_enclave.measurement, keyring
+    )
+    core = TroxyCore(
+        node=node,
+        enclave=troxy_enclave,
+        replica_id=replica_id,
+        config=config,
+        keyring=provisioned,
+        rng=rng.derive("troxy", replica_id),
+        runtime=runtime,
+        fast_reads=fast_reads,
+        cache=FastReadCache(
+            troxy_enclave, max_entries=cache_entries, store_outside=cache_outside
+        ),
+        monitor=monitor_factory() if monitor_factory else ConflictMonitor(),
+        keys_fn=keys_fn,
+        router=router,
+    )
+    host = TroxyHost(
+        env=env,
+        net=net,
+        node=node,
+        replica=replica,
+        core=core,
+        enclave=troxy_enclave,
+        query_timeout=query_timeout,
+    )
+    return replica, host, core
+
+
 def build_troxy(
     seed: int = 0,
     f: int = 1,
@@ -334,63 +427,23 @@ def build_troxy(
 
     replicas, hosts, cores = [], [], []
     for replica_id in config.replica_ids:
-        node = net.add_node(replica_id, cores=replica_cores)
-        attestation.register_platform(replica_id)
-        tss_boundary = jni_enclave(node, f"tss-{replica_id}", code_identity="hybster-tss-v1")
-        counters = make_trusted_subsystem(
-            replica_id, keyring, attestation, tss_boundary, replica_id
-        )
-        replica = Replica(
+        replica, host, core = _build_troxy_replica(
             env=env,
             net=net,
-            node=node,
-            replica_id=replica_id,
-            config=config,
-            app=app_factory(),
+            rng=rng,
             keyring=keyring,
-            counters=counters,
-            trusted_boundary=tss_boundary,
+            attestation=attestation,
             tracer=tracer,
-            owns_inbox=False,
-        )
-        if boundary == "sgx":
-            enclave_kwargs = {} if epc_bytes is None else {"epc_bytes": epc_bytes}
-            troxy_enclave = Enclave(
-                node, f"troxy-{replica_id}", code_identity="troxy-v1",
-                costs=SGX_ECALL, **enclave_kwargs,
-            )
-            runtime = "cpp_sgx"
-        elif boundary == "jni":
-            troxy_enclave = jni_enclave(node, f"troxy-{replica_id}", code_identity="troxy-v1")
-            runtime = "cpp"
-        else:
-            troxy_enclave = null_enclave(node, f"troxy-{replica_id}")
-            runtime = "cpp"
-        # The Troxy enclave is attested before receiving the cluster keys.
-        provisioned = provision_keys(
-            attestation, replica_id, troxy_enclave, troxy_enclave.measurement, keyring
-        )
-        core = TroxyCore(
-            node=node,
-            enclave=troxy_enclave,
-            replica_id=replica_id,
             config=config,
-            keyring=provisioned,
-            rng=rng.derive("troxy", replica_id),
-            runtime=runtime,
+            replica_id=replica_id,
+            app_factory=app_factory,
+            boundary=boundary,
             fast_reads=fast_reads,
-            cache=FastReadCache(
-                troxy_enclave, max_entries=cache_entries, store_outside=cache_outside
-            ),
-            monitor=monitor_factory() if monitor_factory else ConflictMonitor(),
-        )
-        host = TroxyHost(
-            env=env,
-            net=net,
-            node=node,
-            replica=replica,
-            core=core,
-            enclave=troxy_enclave,
+            replica_cores=replica_cores,
+            monitor_factory=monitor_factory,
+            cache_entries=cache_entries,
+            cache_outside=cache_outside,
+            epc_bytes=epc_bytes,
             query_timeout=query_timeout,
         )
         replicas.append(replica)

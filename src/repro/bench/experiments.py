@@ -403,6 +403,105 @@ def batching_throughput(
     return points
 
 
+# -- Sharding: write throughput vs agreement-group count ------------------------------------------
+
+
+def sharding_throughput(
+    shard_counts: tuple = (1, 2, 4, 8),
+    n_clients: Optional[int] = None,
+    duration: float = 0.25,
+    request_size: int = 1024,
+    key_space: int = 64,
+    read_reply_size: int = 1024,
+) -> list[Point]:
+    """Write-throughput ladder over agreement-group counts (docs/SHARDING.md).
+
+    The fig6-style local write workload, uniform over ``key_space`` keys,
+    driven against :func:`repro.shard.build_sharded` cells at 1/2/4/8
+    groups. Keys are routed by the consistent-hash ring, so at N groups
+    roughly (N-1)/N of requests arrive at a Troxy outside the owning
+    group and take the forwarding path; the aggregate still scales
+    because each group runs its own leader, sealed counters, and batch
+    assembler in parallel.
+
+    The client count is held *fixed across the ladder* (saturating the
+    eight-group cell), so shards are the only variable. A fig8-style
+    fast-read guard runs build_troxy against build_sharded(shards=1):
+    the single-group sharded cell is wire-identical to the unsharded
+    build (the router short-circuits local keys), so the read p50 must
+    not move at all.
+    """
+    from ..shard import build_sharded  # local: repro.shard builds on bench.clusters
+
+    n_clients = n_clients if n_clients is not None else 96
+    app_factory = lambda: EchoService(reply_size=10)  # noqa: E731
+    points = []
+    for shards in shard_counts:
+        wall_start = time.perf_counter()
+        cluster = build_sharded(
+            seed=42, shards=shards, app_factory=app_factory, replica_cores=2,
+        )
+        clients = [cluster.new_client() for _ in range(n_clients)]
+        loadgen = ClosedLoop(
+            cluster.env, clients, write_source(request_size, key_space=key_space),
+            Collector(),
+        )
+        loadgen.start()
+        start = cluster.env.now
+        cluster.env.run(until=start + 0.1 + duration)
+        summary = loadgen.collector.summarize(start + 0.1, start + 0.1 + duration)
+        stats = cluster.router.stats
+        points.append(Point(
+            "sharding-writes", f"etroxy/s={shards}", shards, summary,
+            extra={
+                "sim": {
+                    "wall_s": time.perf_counter() - wall_start,
+                    "steps": cluster.env.steps,
+                    "scheduled_events": cluster.env.scheduled_events,
+                },
+                "lookups": stats.lookups,
+                "forwards": stats.forwards,
+                "forward_share": (
+                    stats.forwards / stats.lookups if stats.lookups else 0.0
+                ),
+                "ring_split": cluster.ring.load_split(
+                    [f"k{i}" for i in range(key_space)]
+                ),
+            },
+        ))
+    # Fast-read guard: the shards=1 cell must not tax the read path.
+    for system, builder in (("unsharded", None), ("s=1", build_sharded)):
+        if builder is None:
+            cluster, summary = _run_system(
+                "etroxy", read_source(), reply_size=read_reply_size,
+                n_clients=32, warmup=0.1, duration=duration,
+            )
+        else:
+            wall_start = time.perf_counter()
+            cluster = builder(
+                seed=42, shards=1,
+                app_factory=lambda: EchoService(reply_size=read_reply_size),
+                replica_cores=2,
+            )
+            clients = [cluster.new_client() for _ in range(32)]
+            loadgen = ClosedLoop(cluster.env, clients, read_source(), Collector())
+            loadgen.start()
+            start = cluster.env.now
+            cluster.env.run(until=start + 0.1 + duration)
+            summary = loadgen.collector.summarize(
+                start + 0.1, start + 0.1 + duration)
+            cluster.sim_stats = {
+                "wall_s": time.perf_counter() - wall_start,
+                "steps": cluster.env.steps,
+                "scheduled_events": cluster.env.scheduled_events,
+            }
+        points.append(Point(
+            "sharding-reads", f"etroxy/{system}", system, summary,
+            extra={"sim": cluster.sim_stats},
+        ))
+    return points
+
+
 # -- Fig. 11: HTTP service latency ----------------------------------------------------------------
 
 

@@ -5,6 +5,7 @@ Usage::
     python -m repro.faults --scenarios all --seeds 20 --report out.json
     python -m repro.faults --scenarios troxy_crash_failover,host_tamper_replies
     python -m repro.faults --scenarios all --batch 4   # batched agreement
+    python -m repro.faults --scenarios all --shards 2  # sharded deployment
     python -m repro.faults --list
 
 Exit status is non-zero when any (scenario, seed) run violates an
@@ -48,6 +49,15 @@ def main(argv=None) -> int:
         "(default: off)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="agreement-group count for every run (default: 1, the "
+        "historical single-group deployment); migration scenarios "
+        "always get at least their declared minimum",
+    )
+    parser.add_argument(
         "--report",
         metavar="PATH",
         help="write the full JSON report to PATH ('-' for stdout)",
@@ -70,7 +80,12 @@ def main(argv=None) -> int:
     if args.seeds < 1:
         parser.error("--seeds must be at least 1")
 
-    report = run_campaign(names, list(range(args.seeds)), batching=args.batch)
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+
+    report = run_campaign(
+        names, list(range(args.seeds)), batching=args.batch, shards=args.shards
+    )
 
     if args.report == "-":
         print(report_to_json(report), end="")

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from ..analysis.history import HistoryRecorder
 from ..apps.kvstore import KvStore, get, put
 from ..bench.clusters import build_troxy
+from ..shard import build_sharded, resolve_shards
 from ..sim.rng import RngTree
 from .injector import FaultPlane
 from .invariants import (
@@ -56,7 +57,8 @@ def _workload_driver(env, client, spec: WorkloadSpec, rng, state: DriverState):
 
 
 def run_scenario(
-    scenario: Scenario, seed: int, registry=None, obs=None, batching=None
+    scenario: Scenario, seed: int, registry=None, obs=None, batching=None,
+    shards=None,
 ) -> dict:
     """Run one scenario at one seed; returns a JSON-serialisable result.
 
@@ -65,6 +67,14 @@ def run_scenario(
     accepts, e.g. ``"4"`` or ``"adaptive"``); the invariants are
     batching-agnostic, so the same catalogue re-runs at any batch size
     (docs/BATCHING.md).
+
+    ``shards`` optionally forces a group count; the cluster gets
+    ``max(scenario.shards, shards)`` agreement groups so migration
+    scenarios always have their two groups, and at the effective count
+    of 1 the historical single-group builder is used unchanged. The
+    invariants are shard-agnostic — linearizability is checked over the
+    whole keyspace, counters per replica across all groups
+    (docs/SHARDING.md).
 
     ``registry`` optionally accepts a :class:`repro.obs.Registry`
     (duck-typed — no obs import here): campaign outcomes are emitted as
@@ -78,10 +88,17 @@ def run_scenario(
     to close spans and snapshot stats.
     """
     rng_tree = RngTree(seed)
-    cluster = build_troxy(
-        seed=seed, app_factory=KvStore, batching=batching,
-        **scenario.build_kwargs(),
-    )
+    effective_shards = max(scenario.shards, resolve_shards(shards))
+    if effective_shards > 1:
+        cluster = build_sharded(
+            seed=seed, shards=effective_shards, app_factory=KvStore,
+            batching=batching, **scenario.build_kwargs(),
+        )
+    else:
+        cluster = build_troxy(
+            seed=seed, app_factory=KvStore, batching=batching,
+            **scenario.build_kwargs(),
+        )
     recorder = HistoryRecorder(cluster.env)
     plane = FaultPlane(
         cluster,
@@ -117,6 +134,14 @@ def run_scenario(
 
     unfinished = [d.client_id for d in drivers if not d.done]
     unfinished += [s.client_id for s in plane.attack_states if not s.done]
+    # A scheduled shard handoff that has not cut over by the horizon is
+    # a stalled migration — a liveness failure like an unfinished client.
+    migration_reports = [
+        r for r in getattr(getattr(cluster, "migrator", None), "reports", [])
+    ]
+    unfinished += [
+        f"migration-{r.migration_id}" for r in migration_reports if not r.completed
+    ]
 
     counter_chains = {
         replica.replica_id: plane.counter_baselines.get(replica.replica_id, [])
@@ -152,6 +177,14 @@ def run_scenario(
         "tampered_or_dropped": sum(rule.hits for rule in plane.rules)
         + sum(plane._retired_hits.values()),
     }
+    router = getattr(cluster, "router", None)
+    if router is not None:
+        stats["shard_forwards"] = router.stats.forwards
+        stats["shard_frozen_rejects"] = router.stats.frozen_rejects
+        stats["migrations_completed"] = sum(
+            1 for r in migration_reports if r.completed
+        )
+        stats["migrated_keys"] = sum(r.moved_keys for r in migration_reports)
 
     # First-class injection timeline: one record per injected fault with
     # its sim-time activation (and, when healed, deactivation) timestamp.
@@ -196,6 +229,7 @@ def run_scenario(
         "scenario": scenario.name,
         "seed": seed,
         "batching": "off" if batching is None else str(batching),
+        "shards": effective_shards,
         "paper_ref": scenario.paper_ref,
         "horizon": scenario.horizon,
         "ok": ok,
@@ -217,7 +251,7 @@ def resolve_scenarios(spec: str) -> list[str]:
 
 
 def run_campaign(
-    names: list[str], seeds: list[int], registry=None, batching=None
+    names: list[str], seeds: list[int], registry=None, batching=None, shards=None
 ) -> dict:
     """Run every (scenario, seed) pair and aggregate a report."""
     results = []
@@ -225,7 +259,10 @@ def run_campaign(
         scenario = get_scenario(name)
         for seed in seeds:
             results.append(
-                run_scenario(scenario, seed, registry=registry, batching=batching)
+                run_scenario(
+                    scenario, seed, registry=registry, batching=batching,
+                    shards=shards,
+                )
             )
     failed = [
         {"scenario": r["scenario"], "seed": r["seed"]}
@@ -237,6 +274,7 @@ def run_campaign(
         "scenarios": names,
         "seeds": seeds,
         "batching": "off" if batching is None else str(batching),
+        "shards": resolve_shards(shards),
         "runs": results,
         "summary": {
             "total": len(results),

@@ -316,6 +316,23 @@ class FaultPlane:
             return SecureEnvelope(payload.record, forged)
         return Garbage(getattr(payload, "wire_size", 64))
 
+    # -- shard migrations --------------------------------------------------------
+
+    def start_migration(self, fault) -> None:
+        """Spawn a live shard handoff (repro.shard) as a background process.
+
+        The migrator records a :class:`~repro.shard.migrate.MigrationReport`
+        on the cluster whether or not the handoff completes; campaign
+        invariants read it from ``cluster.migrator.reports``.
+        """
+        migrator = getattr(self.cluster, "migrator", None)
+        if migrator is None:
+            raise ValueError("ShardMigration requires a sharded cluster (shards >= 2)")
+        self.env.process(
+            migrator.migrate(fault.src, fault.dst, fraction=fault.fraction),
+            name=f"fault-plane:migrate-{fault.src}-{fault.dst}",
+        )
+
     # -- write-contention attacks ----------------------------------------------
 
     def start_write_attack(self, fault: WriteContentionAttack) -> None:

@@ -202,6 +202,27 @@ class WriteContentionAttack(Fault):
         plane.stop_write_attack(self)
 
 
+@dataclass(frozen=True)
+class ShardMigration(Fault):
+    """Start a live shard handoff (docs/SHARDING.md) mid-campaign.
+
+    Moves ``fraction`` of the source group's ring tokens to the
+    destination group while the workload keeps running — the migration
+    itself is the fault surface: its freeze window, fenced state
+    transfer, and ring cut-over run concurrently with whatever other
+    faults the schedule stages (partitions, leader crashes, write
+    contention). Only meaningful on sharded clusters; injection fails
+    on a single-group deployment.
+    """
+
+    src: str = "g0"
+    dst: str = "g1"
+    fraction: float = 0.5
+
+    def inject(self, plane) -> None:
+        plane.start_migration(self)
+
+
 ALL_FAULT_TYPES = (
     ReplicaCrash,
     ReplicaRestart,
@@ -212,4 +233,5 @@ ALL_FAULT_TYPES = (
     MessageCorrupt,
     HostTamper,
     WriteContentionAttack,
+    ShardMigration,
 )

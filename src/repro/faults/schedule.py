@@ -27,6 +27,7 @@ from .model import (
     MessageLoss,
     NetworkPartition,
     ReplicaCrash,
+    ShardMigration,
     WriteContentionAttack,
 )
 
@@ -95,6 +96,9 @@ class Scenario:
     workload: WorkloadSpec = WorkloadSpec()
     horizon: float = 45.0  # sim-seconds before invariants are evaluated
     cluster_kwargs: tuple[tuple[str, object], ...] = ()
+    #: minimum agreement-group count this scenario needs (docs/SHARDING.md);
+    #: the campaign runner builds max(scenario.shards, CLI --shards) groups.
+    shards: int = 1
 
     def build_kwargs(self) -> dict:
         return dict(self.cluster_kwargs)
@@ -286,6 +290,74 @@ def _catalogue() -> dict[str, Scenario]:
                 think_time=0.01,
             ),
             cluster_kwargs=(("query_timeout", 0.2),),
+        ),
+        Scenario(
+            name="shard_migration_partition",
+            description=(
+                "A live shard handoff from g0 to g1 starts while a source "
+                "follower is partitioned away; the fenced state transfer "
+                "must still find f+1 matching snapshots and the workload "
+                "must complete across the ring cut-over."
+            ),
+            paper_ref="docs/SHARDING.md (migration under faults)",
+            schedule=(
+                Schedule.at(
+                    0.2,
+                    NetworkPartition((("replica-2",), ("replica-0", "replica-1"))),
+                    duration=3.0,
+                )
+                + Schedule.at(0.5, ShardMigration(src="g0", dst="g1", fraction=0.5))
+            ),
+            horizon=60.0,
+            shards=2,
+        ),
+        Scenario(
+            name="shard_migration_leader_crash",
+            description=(
+                "The destination group's leader crashes right as a handoff "
+                "begins: the ordered state-install must survive the view "
+                "change like any client request, and the cut-over completes "
+                "against the new leader."
+            ),
+            paper_ref="docs/SHARDING.md (migration under faults)",
+            schedule=(
+                Schedule.at(0.3, ShardMigration(src="g0", dst="g1", fraction=0.5))
+                + Schedule.at(0.35, ReplicaCrash("g1-replica-0"))
+            ),
+            horizon=75.0,
+            shards=2,
+        ),
+        Scenario(
+            name="shard_rebalance_contention",
+            description=(
+                "An adversarial client hammers writes at hot keys while "
+                "those very keys are being rebalanced between groups: "
+                "frozen-window rejects must resolve via client retry with "
+                "no write lost or duplicated into the wrong group."
+            ),
+            paper_ref="docs/SHARDING.md (migration under faults)",
+            schedule=(
+                Schedule.at(
+                    0.2,
+                    WriteContentionAttack(keys=("k0", "k1"), interval=0.006),
+                    duration=2.0,
+                )
+                + Schedule.at(0.6, ShardMigration(src="g0", dst="g1", fraction=0.5))
+            ),
+            # Same read-heavy, tightly paced shape as the plain
+            # write_contention_attack scenario, so the contention signals
+            # (conflicts, monitor switches) reliably appear while the
+            # attacked keys are simultaneously being rebalanced.
+            workload=WorkloadSpec(
+                clients=3,
+                ops_per_client=40,
+                keys=("k0", "k1"),
+                write_ratio=0.1,
+                think_time=0.01,
+            ),
+            cluster_kwargs=(("monitor_factory", _contention_monitor),),
+            horizon=60.0,
+            shards=2,
         ),
     ]
     return {scenario.name: scenario for scenario in scenarios}

@@ -96,6 +96,13 @@ class ClusterConfig:
     progress_timeout: float = 1.0  # replica-side view-change trigger
     runtime: str = "java"  # protocol-processing cost profile
     batching: BatchConfig = field(default_factory=BatchConfig)
+    #: Node-name prefix for this agreement group's replicas. The default
+    #: (empty) keeps the historical ``replica-{i}`` names; sharded
+    #: deployments (repro.shard) give every group beyond the first its
+    #: own prefix (``g1-``, ``g2-``, ...) so groups share one network
+    #: without name collisions while group 0 stays byte-compatible with
+    #: the unsharded wire format.
+    replica_prefix: str = ""
 
     def __post_init__(self):
         if self.f < 1:
@@ -127,7 +134,9 @@ class ClusterConfig:
         try:
             return self._replica_ids
         except AttributeError:
-            cached = tuple(f"replica-{i}" for i in range(self.n))
+            cached = tuple(
+                f"{self.replica_prefix}replica-{i}" for i in range(self.n)
+            )
             object.__setattr__(self, "_replica_ids", cached)
             return cached
 

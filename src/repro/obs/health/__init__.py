@@ -23,11 +23,14 @@ from .detectors import (
     EnclaveRebootDetector,
     FastReadAbortStormDetector,
     Finding,
+    MigrationStallDetector,
     ModeSwitchChurnDetector,
     ReplicaDivergenceDetector,
     SealedCounterStallDetector,
+    ShardImbalanceDetector,
     ViewChangeDetector,
     default_detectors,
+    shard_of_node,
 )
 from .events import Evidence, HealthEvent
 from .harness import EXPECTED, render_table, run_detection, run_harness
@@ -48,11 +51,13 @@ __all__ = [
     "FlightRecorder",
     "HealthEvent",
     "HealthPlane",
+    "MigrationStallDetector",
     "ModeSwitchChurnDetector",
     "NodeDelta",
     "RegistryDeltas",
     "ReplicaDivergenceDetector",
     "SealedCounterStallDetector",
+    "ShardImbalanceDetector",
     "SloSpec",
     "SloTracker",
     "ViewChangeDetector",

@@ -22,6 +22,8 @@ registry already carries:
 ``sealed_counter_stall`` trusted counter frozen while the cell progresses
 ``enclave_reboot``       reboot + cache-clear signature on one Troxy
 ``client_retry_spike``   client-side retransmissions (tamper/corrupt/loss)
+``shard_imbalance``      one agreement group executing far above fair share
+``migration_stall``      a live shard handoff frozen past its expected window
 ======================  ==================================================
 
 Everything here is pure arithmetic on snapshot fields: no simulation
@@ -104,28 +106,35 @@ class ReplicaDivergenceDetector(Detector):
         self.lag_ratio = lag_ratio
 
     def _conditions(self, win: WindowSnapshot) -> list[Finding]:
-        nodes = win.replica_nodes()
-        if len(nodes) < 3:
-            return []
-        executes = {node: win.per_node[node].executes for node in nodes}
-        median = _median(list(executes.values()))
-        if median < self.min_quorum_ops:
-            return []
+        # Quorums are per agreement group: in a sharded cell different
+        # groups legitimately execute different volumes (keyspace skew),
+        # so each replica is compared against its *own* group's median.
+        by_shard: dict = {}
+        for node in win.replica_nodes():
+            by_shard.setdefault(shard_of_node(node) or "g0", []).append(node)
         out = []
-        for node in nodes:
-            if executes[node] < self.lag_ratio * median:
-                out.append(Finding(
-                    kind="replica_divergence", node=node, severity="critical",
-                    detail={
-                        "executes": executes[node],
-                        "quorum_median": median,
-                        "lag_ratio": self.lag_ratio,
-                    },
-                    metrics=(
-                        ("executions_total.delta", float(executes[node])),
-                        ("quorum_median.delta", median),
-                    ),
-                ))
+        for shard in sorted(by_shard):
+            nodes = by_shard[shard]
+            if len(nodes) < 3:
+                continue
+            executes = {node: win.per_node[node].executes for node in nodes}
+            median = _median(list(executes.values()))
+            if median < self.min_quorum_ops:
+                continue
+            for node in nodes:
+                if executes[node] < self.lag_ratio * median:
+                    out.append(Finding(
+                        kind="replica_divergence", node=node, severity="critical",
+                        detail={
+                            "executes": executes[node],
+                            "quorum_median": median,
+                            "lag_ratio": self.lag_ratio,
+                        },
+                        metrics=(
+                            ("executions_total.delta", float(executes[node])),
+                            ("quorum_median.delta", median),
+                        ),
+                    ))
         return out
 
 
@@ -297,9 +306,18 @@ class SealedCounterStallDetector(Detector):
 
     def _conditions(self, win: WindowSnapshot) -> list[Finding]:
         out = []
-        cluster_progress = win.total_executes
+        # Progress is judged within the node's own agreement group: a
+        # group whose keyspace slice is simply cold (sharded cells) is
+        # idle, not stalled.
+        shard_progress: dict = {}
+        for node in win.replica_nodes():
+            shard = shard_of_node(node) or "g0"
+            shard_progress[shard] = (
+                shard_progress.get(shard, 0) + win.per_node[node].executes
+            )
         for node in win.replica_nodes():
             delta = win.per_node[node]
+            cluster_progress = shard_progress[shard_of_node(node) or "g0"]
             stalled = (
                 cluster_progress >= self.min_cluster_progress
                 and delta.sealed_delta == 0
@@ -375,6 +393,112 @@ class ClientRetrySpikeDetector(Detector):
         )]
 
 
+def shard_of_node(node: str):
+    """Agreement group of a replica node name (docs/SHARDING.md).
+
+    ``g{N}-replica-{i}`` belongs to ``g{N}``; the unprefixed historical
+    ``replica-{i}`` names are group 0. Non-replica nodes map to None.
+    """
+    if node.startswith("replica-"):
+        return "g0"
+    head, sep, rest = node.partition("-")
+    if sep and rest.startswith("replica-") and len(head) > 1 and head[0] == "g" \
+            and head[1:].isdigit():
+        return head
+    return None
+
+
+class ShardImbalanceDetector(Detector):
+    """One agreement group executing far beyond its fair share.
+
+    Groups per-node execute deltas by shard (node-name prefix). With a
+    uniform ring the shards should split the load roughly evenly; a
+    group running at ``ratio`` times the fair share for a window means
+    the keyspace placement (or a skewed workload) has concentrated the
+    traffic — the signal that a rebalance migration is warranted. Only
+    meaningful when the window saw at least ``min_total_ops`` executes
+    across two or more shards.
+    """
+
+    name = "shard_imbalance"
+
+    def __init__(self, ratio: float = 2.0, min_total_ops: int = 12):
+        super().__init__()
+        self.ratio = ratio
+        self.min_total_ops = min_total_ops
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        per_shard: dict[str, int] = {}
+        for node in win.replica_nodes():
+            shard = shard_of_node(node)
+            if shard is None:
+                continue
+            per_shard[shard] = per_shard.get(shard, 0) + win.per_node[node].executes
+        if len(per_shard) < 2:
+            return []
+        total = sum(per_shard.values())
+        if total < self.min_total_ops:
+            return []
+        fair = total / len(per_shard)
+        out = []
+        for shard in sorted(per_shard):
+            if per_shard[shard] >= self.ratio * fair:
+                out.append(Finding(
+                    kind="shard_imbalance", node=shard, severity="warn",
+                    detail={
+                        "shard_executes": per_shard[shard],
+                        "fair_share": round(fair, 2),
+                        "shards": len(per_shard),
+                        "ratio": round(per_shard[shard] / fair, 4),
+                    },
+                    metrics=(
+                        ("executions_total.shard_delta", float(per_shard[shard])),
+                        ("executions_total.fair_share", fair),
+                    ),
+                ))
+        return out
+
+
+class MigrationStallDetector(Detector):
+    """A live shard handoff stuck past its expected freeze window.
+
+    A healthy migration freezes writes for a few fence round-trips —
+    well under one health window. A migration still active (and the
+    router still frozen) after ``patience`` consecutive windows means
+    the fenced transfer cannot converge (partitioned source quorum,
+    crashed destination leader): writes to the moving keys are piling
+    up in client retry loops, so this is critical, not cosmetic.
+    """
+
+    name = "migration_stall"
+
+    def __init__(self, patience: int = 4):
+        super().__init__()
+        self.patience = patience
+        self._frozen_for = 0
+        self._episode = 0
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        if win.migrations_active > 0 and win.router_frozen:
+            self._frozen_for += 1
+        else:
+            if self._frozen_for >= self.patience:
+                self._episode += 1  # re-arm for a distinct later stall
+            self._frozen_for = 0
+        if self._frozen_for < self.patience:
+            return []
+        return [Finding(
+            kind="migration_stall", node="", severity="critical",
+            detail={
+                "frozen_windows": self._frozen_for,
+                "migrations_active": win.migrations_active,
+                "migrations_completed": win.migrations_completed,
+            },
+            metrics=(("migration.frozen_windows", float(self._frozen_for)),),
+            instance=self._episode,
+        )]
+
+
 def default_detectors() -> list[Detector]:
     """The full catalogue at its default thresholds."""
     return [
@@ -386,4 +510,6 @@ def default_detectors() -> list[Detector]:
         SealedCounterStallDetector(),
         EnclaveRebootDetector(),
         ClientRetrySpikeDetector(),
+        ShardImbalanceDetector(),
+        MigrationStallDetector(),
     ]

@@ -47,6 +47,15 @@ EXPECTED: dict[str, tuple[str, ...]] = {
     "unresponsive_cache_peer": (
         "fast_read_abort_storm", "mode_switch", "slo_violation",
     ),
+    # Sharded scenarios (docs/SHARDING.md) build two agreement groups.
+    "shard_migration_partition": (
+        "replica_divergence", "sealed_counter_stall", "client_retry_spike",
+        "shard_imbalance",
+    ),
+    "shard_migration_leader_crash": (
+        "migration_stall", "view_change", "client_retry_spike",
+    ),
+    "shard_rebalance_contention": ("mode_switch", "shard_imbalance"),
 }
 
 

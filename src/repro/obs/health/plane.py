@@ -265,6 +265,18 @@ class HealthPlane(ObsPlane):
             nd.cache_clears_delta = int(self._sample(
                 ("clears", rid), host.core.cache.stats.clears
             ))
+        # Shard state (repro.shard): read-only samples off the router
+        # and migrator, absent on single-group clusters.
+        router = getattr(cluster, "router", None)
+        if router is not None:
+            win.router_frozen = router.frozen
+        migrator = getattr(cluster, "migrator", None)
+        if migrator is not None:
+            reports = migrator.reports
+            win.migrations_completed = sum(1 for r in reports if r.completed)
+            win.migrations_active = sum(
+                1 for r in reports if not r.completed and not r.reason
+            )
 
     def _sample(self, key: tuple, current) -> float:
         """Delta of a sampled absolute since the previous window."""

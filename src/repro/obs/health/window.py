@@ -66,6 +66,10 @@ class WindowSnapshot:
     latency: dict = field(default_factory=dict)
     #: replica/host node name -> NodeDelta.
     per_node: dict = field(default_factory=dict)
+    #: Sampled shard state (repro.shard); zero/false on unsharded cells.
+    router_frozen: bool = False
+    migrations_active: int = 0
+    migrations_completed: int = 0
 
     def node(self, name: str) -> NodeDelta:
         delta = self.per_node.get(name)

@@ -1,0 +1,28 @@
+"""repro.shard — sharded multi-group Troxy (docs/SHARDING.md).
+
+Partitions the keyspace across N independent Hybster agreement groups,
+each with its own leader, trusted counters, batch assembler, and
+fast-read cache, behind an enclave-resident :class:`ShardRouter` with a
+consistent-hash ring — legacy clients still see one transparent
+endpoint. :class:`ShardMigrator` moves ring slices between groups live
+(freeze, fenced state transfer, counter re-certification, atomic ring
+cut-over).
+"""
+
+from .ring import HashRing
+from .router import RouteDecision, ShardRouter
+from .cluster import ShardedTroxyCluster, ShardGroup, build_sharded, resolve_shards
+from .migrate import MigrationReport, ShardMigrator, filter_kv_snapshot
+
+__all__ = [
+    "HashRing",
+    "RouteDecision",
+    "ShardRouter",
+    "ShardGroup",
+    "ShardedTroxyCluster",
+    "build_sharded",
+    "resolve_shards",
+    "MigrationReport",
+    "ShardMigrator",
+    "filter_kv_snapshot",
+]

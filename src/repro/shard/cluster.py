@@ -1,0 +1,295 @@
+"""Sharded deployment builder: N Hybster groups behind one Troxy cell.
+
+``build_sharded`` assembles ``shards`` independent agreement groups —
+each with its own leader, trusted counters, batch assembler, and
+fast-read caches — on one simulated network, and hands every TroxyCore
+a reference to one shared :class:`~repro.shard.router.ShardRouter`.
+Legacy clients connect to any replica of any group exactly as before;
+the fronting Troxy forwards requests whose keys live elsewhere
+(docs/SHARDING.md).
+
+Group 0 keeps the historical ``replica-{i}`` node names and is built by
+the same per-replica assembly as :func:`repro.bench.clusters.build_troxy`,
+so a one-group sharded deployment is wire-identical to the unsharded
+path (pinned by ``tests/shard/test_conformance.py``). Groups beyond the
+first get a ``g{N}-`` node-name prefix.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Union
+
+from ..apps.base import Application
+from ..apps.kvstore import decode_key_list, decode_kv_records
+from ..bench.clusters import (
+    LAN_LATENCY,
+    MASTER_SECRET,
+    _apply_batching,
+    _build_troxy_replica,
+    _wan_client_links,
+    BOUNDARIES,
+)
+from ..crypto.keys import KeyRing
+from ..hybster.client import ClientMachine
+from ..hybster.config import BatchConfig, ClusterConfig
+from ..hybster.replica import Replica
+from ..sgx.attestation import AttestationService
+from ..sim.engine import Environment
+from ..sim.network import LatencyModel, Network, NicConfig
+from ..sim.rng import RngTree
+from ..sim.trace import Tracer
+from ..troxy.core import TroxyCore
+from ..troxy.host import TroxyHost
+from ..troxy.monitor import ConflictMonitor
+from ..workloads.legacy import LegacyClient
+from .migrate import ShardMigrator
+from .ring import HashRing, ring_from_rng
+from .router import ShardRouter
+
+#: Environment default for the shard count, mirroring REPRO_BATCHING:
+#: only consulted when the caller passes ``shards=None``.
+SHARDS_ENV = "REPRO_SHARDS"
+
+
+def resolve_shards(shards: Union[int, str, None]) -> int:
+    """Turn a shard knob (CLI/env/int) into a group count >= 1."""
+    if shards is None:
+        env_default = os.environ.get(SHARDS_ENV, "").strip()
+        shards = env_default if env_default else 1
+    if isinstance(shards, str):
+        shards = int(shards.strip() or "1")
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return shards
+
+
+def shard_keys_fn(op) -> tuple:
+    """Key extraction covering the migration bulk ops.
+
+    ``shard_install``/``shard_retire`` carry their affected keys in the
+    operation body; every one of them must be invalidated in the
+    executing group's fast-read caches, or a cache entry for a migrated
+    key could serve the pre-migration value after the handoff.
+    """
+    if op.name == "shard_install":
+        return tuple(key for key, _value in decode_kv_records(op.body.content))
+    if op.name == "shard_retire":
+        return tuple(decode_key_list(op.body.content))
+    return (op.key,)
+
+
+def group_id(index: int) -> str:
+    return f"g{index}"
+
+
+@dataclass
+class ShardGroup:
+    """One agreement group of a sharded deployment."""
+
+    group_id: str
+    config: ClusterConfig
+    replicas: list[Replica]
+    hosts: list[TroxyHost]
+    cores: list[TroxyCore]
+
+    @property
+    def leader(self) -> Replica:
+        view = max(replica.view for replica in self.replicas)
+        leader_id = self.config.leader_of(view)
+        return next(r for r in self.replicas if r.replica_id == leader_id)
+
+
+@dataclass
+class ShardedTroxyCluster:
+    """A running multi-group Troxy deployment behind one shard router.
+
+    Duck-types the single-group :class:`~repro.bench.clusters.TroxyCluster`
+    where the fault plane and workload drivers need it: ``replicas`` /
+    ``hosts`` / ``cores`` flatten across groups (group 0 first, so
+    ``replica-{i}`` keep their historical indices), ``config`` and
+    ``leader`` refer to group 0.
+    """
+
+    env: Environment
+    net: Network
+    config: ClusterConfig  # group 0's config
+    keyring: KeyRing
+    groups: list[ShardGroup]
+    ring: HashRing
+    router: ShardRouter
+    machines: list[ClientMachine]
+    tracer: Tracer
+    attestation: AttestationService
+    migrator: ShardMigrator = None
+    _client_counter: int = 0
+
+    @property
+    def shards(self) -> int:
+        return len(self.groups)
+
+    @property
+    def replicas(self) -> list[Replica]:
+        return [replica for group in self.groups for replica in group.replicas]
+
+    @property
+    def hosts(self) -> list[TroxyHost]:
+        return [host for group in self.groups for host in group.hosts]
+
+    @property
+    def cores(self) -> list[TroxyCore]:
+        return [core for group in self.groups for core in group.cores]
+
+    @property
+    def leader(self) -> Replica:
+        return self.groups[0].leader
+
+    def group(self, gid: str) -> ShardGroup:
+        return next(g for g in self.groups if g.group_id == gid)
+
+    def shard_of(self, replica_id: str) -> str:
+        return self.router.group_of_replica(replica_id)
+
+    def host_of(self, replica_id: str) -> TroxyHost:
+        return next(h for h in self.hosts if h.replica_id == replica_id)
+
+    def new_client(
+        self,
+        contact_index: Optional[int] = None,
+        request_timeout: float = 2.0,
+    ) -> LegacyClient:
+        """A pre-connected legacy client; may contact any replica of any
+        group — the shard topology stays invisible to it."""
+        machine = self.machines[self._client_counter % len(self.machines)]
+        hosts = self.hosts
+        if contact_index is None:
+            contact_index = self._client_counter % len(hosts)
+        self._client_counter += 1
+        client = LegacyClient(
+            machine,
+            client_id=f"client-{self._client_counter}",
+            keyring=self.keyring,
+            hosts=hosts,
+            contact_index=contact_index,
+            request_timeout=request_timeout,
+        )
+        client.connect_instant()
+        return client
+
+
+def build_sharded(
+    seed: int = 0,
+    shards: int = 1,
+    f: int = 1,
+    app_factory: Callable[[], Application] = None,
+    boundary: str = "sgx",
+    fast_reads: bool = True,
+    client_machines: int = 2,
+    wan: Optional[LatencyModel] = None,
+    client_nic: Optional[NicConfig] = None,
+    replica_cores: int = 8,
+    config: Optional[ClusterConfig] = None,
+    batching: Union[BatchConfig, int, str, None] = None,
+    monitor_factory: Callable[[], ConflictMonitor] = None,
+    cache_entries: int = 65536,
+    cache_outside: bool = True,
+    epc_bytes: Optional[int] = None,
+    query_timeout: float = 0.1,
+    vnodes: int = 64,
+    trace: bool = False,
+) -> ShardedTroxyCluster:
+    """Assemble a sharded Troxy deployment of ``shards`` agreement groups.
+
+    Accepts every knob :func:`~repro.bench.clusters.build_troxy` does;
+    each applies uniformly to all groups. The consistent-hash ring's
+    vnode placement is derived from the deployment seed (its own RNG
+    stream, so adding shards never perturbs protocol randomness).
+    """
+    if app_factory is None:
+        raise ValueError("app_factory is required")
+    if boundary not in BOUNDARIES:
+        raise ValueError(f"boundary must be one of {sorted(BOUNDARIES)}: {boundary!r}")
+    shards = resolve_shards(shards)
+    base_config = _apply_batching(config, f, batching)
+    if base_config.replica_prefix:
+        raise ValueError("build_sharded assigns group prefixes itself")
+    configs = [
+        base_config if g == 0 else replace(base_config, replica_prefix=f"{group_id(g)}-")
+        for g in range(shards)
+    ]
+
+    env = Environment()
+    rng = RngTree(seed)
+    tracer = Tracer(enabled=trace)
+    net = Network(env, rng_tree=rng, default_latency=LAN_LATENCY, tracer=tracer)
+    keyring = KeyRing(MASTER_SECRET)
+    attestation = AttestationService(MASTER_SECRET + b"/ias")
+
+    group_ids = [group_id(g) for g in range(shards)]
+    ring = ring_from_rng(group_ids, rng.derive("shard", "ring"), vnodes=vnodes)
+    members = {group_ids[g]: configs[g].replica_ids for g in range(shards)}
+    router = ShardRouter(ring, members)
+
+    groups = []
+    for g in range(shards):
+        replicas, hosts, cores = [], [], []
+        for replica_id in configs[g].replica_ids:
+            replica, host, core = _build_troxy_replica(
+                env=env,
+                net=net,
+                rng=rng,
+                keyring=keyring,
+                attestation=attestation,
+                tracer=tracer,
+                config=configs[g],
+                replica_id=replica_id,
+                app_factory=app_factory,
+                boundary=boundary,
+                fast_reads=fast_reads,
+                replica_cores=replica_cores,
+                monitor_factory=monitor_factory,
+                cache_entries=cache_entries,
+                cache_outside=cache_outside,
+                epc_bytes=epc_bytes,
+                query_timeout=query_timeout,
+                router=router,
+                keys_fn=shard_keys_fn,
+            )
+            replicas.append(replica)
+            hosts.append(host)
+            cores.append(core)
+        groups.append(
+            ShardGroup(
+                group_id=group_ids[g],
+                config=configs[g],
+                replicas=replicas,
+                hosts=hosts,
+                cores=cores,
+            )
+        )
+
+    machines = []
+    for i in range(client_machines):
+        name = f"client-machine-{i}"
+        node = net.add_node(name, cores=replica_cores, nic=client_nic)
+        machines.append(ClientMachine(env, net, node))
+    all_replica_ids = [rid for cfg in configs for rid in cfg.replica_ids]
+    if wan is not None:
+        _wan_client_links(net, [m.node.name for m in machines], all_replica_ids, wan)
+
+    cluster = ShardedTroxyCluster(
+        env=env,
+        net=net,
+        config=configs[0],
+        keyring=keyring,
+        groups=groups,
+        ring=ring,
+        router=router,
+        machines=machines,
+        tracer=tracer,
+        attestation=attestation,
+    )
+    cluster.migrator = ShardMigrator(cluster)
+    return cluster

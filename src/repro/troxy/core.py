@@ -33,7 +33,13 @@ from ..hybster.secure import SecureEnvelope, open_body, seal_body
 from ..sgx.enclave import Enclave
 from ..sim.network import Node
 from .cache import FastReadCache
-from .messages import BatchedReply, CacheEntryReply, CacheQuery
+from .messages import (
+    BatchedReply,
+    CacheEntryReply,
+    CacheQuery,
+    ForwardedRequest,
+    ShardFastReply,
+)
 from .monitor import ConflictMonitor
 
 
@@ -49,6 +55,10 @@ class Action:
       "send_reply" — send the authenticated ``reply`` to replica ``dst``;
       "send_reply_batch" — send ``batch`` (a BatchedReply) to replica ``dst``;
       "deliver_local" — feed ``reply`` to the local voter;
+      "forward" — send ``forward`` (a ForwardedRequest) to replica ``dst``
+                  in the key's owning group (docs/SHARDING.md);
+      "send_shard_reply" — send ``shard_reply`` (a ShardFastReply) to the
+                  fronting replica ``dst``;
       "wait"   — nothing yet;
       "drop"   — discard (failed authentication etc.).
     """
@@ -62,6 +72,8 @@ class Action:
     queries: tuple = ()
     nonce: int = 0
     reason: str = ""
+    forward: Optional[ForwardedRequest] = None
+    shard_reply: Optional[ShardFastReply] = None
 
 
 @dataclass
@@ -77,6 +89,11 @@ class _Pending:
     #: entered the voter; a higher epoch at quorum time means a write
     #: overtook this read and its result must not be installed.
     install_epoch: int = 0
+    #: the key lives in another shard group (docs/SHARDING.md): votes
+    #: still converge here, but the result is never installed into the
+    #: local cache — a key's cache entries and invalidation epochs stay
+    #: confined to its owning group.
+    foreign: bool = False
 
 
 @dataclass
@@ -89,6 +106,12 @@ class _FastRead:
     local_reply: Reply
     expected: set[str] = field(default_factory=set)
     failed: bool = False
+    #: non-empty for a *forwarded* read resolved on behalf of another
+    #: group's fronting Troxy: on quorum success the verdict travels
+    #: back as a ShardFastReply instead of a sealed client reply, and on
+    #: conflict/timeout the fallback is plain ordering (the voter state
+    #: lives at the fronting Troxy, not here).
+    origin: str = ""
 
 
 @dataclass
@@ -113,6 +136,16 @@ class TroxyStats:
     #: voted read results discarded instead of installed because a write
     #: invalidated their keys while the vote was in flight.
     stale_installs_skipped: int = 0
+    # Sharded routing (docs/SHARDING.md): requests handed to / received
+    # from other groups' Troxies, post-cut-over stragglers passed along,
+    # writes rejected during a migration freeze, and fast-read verdicts
+    # attested across groups.
+    forwarded_out: int = 0
+    forwarded_in: int = 0
+    reforwards: int = 0
+    frozen_rejects: int = 0
+    shard_fast_replies_sent: int = 0
+    shard_fast_replies_accepted: int = 0
 
 
 class TroxyCore:
@@ -131,6 +164,7 @@ class TroxyCore:
         cache: Optional[FastReadCache] = None,
         monitor: Optional[ConflictMonitor] = None,
         keys_fn: Optional[Callable[[Operation], tuple]] = None,
+        router=None,
     ):
         self.node = node
         self.enclave = enclave
@@ -143,6 +177,10 @@ class TroxyCore:
         self.cache = cache if cache is not None else FastReadCache(enclave)
         self.monitor = monitor or ConflictMonitor()
         self.keys_fn = keys_fn or (lambda op: (op.key,))
+        # Shared ShardRouter in sharded deployments (docs/SHARDING.md);
+        # None means unsharded: every key is local and no routing
+        # decision is ever consulted.
+        self.router = router
         # Hot-path cost scalars: every client request charges several of
         # these, and chasing profile -> OpCost -> cost() per charge is
         # measurable (see docs/PERFORMANCE.md). Inlined expressions keep
@@ -212,6 +250,20 @@ class TroxyCore:
             self._hash_base + self._hash_per_byte * bft_request.wire_size,
             self._mac_cost_digest,
         )
+        if self.router is not None:
+            decision = self.router.route(bft_request.op, self.replica_id)
+            if decision.kind == "frozen":
+                # The key's ring slice is mid-migration: reject the write
+                # and let the legacy client's retransmission land it
+                # after the cut-over (docs/SHARDING.md).
+                self.stats.frozen_rejects += 1
+                return Action("drop", reason="key frozen for shard migration")
+            if decision.kind == "forward":
+                return (
+                    yield from self._forward(
+                        body, bft_request, client_machine, decision.target
+                    )
+                )
         if (
             self.fast_reads
             and bft_request.op.is_read
@@ -221,6 +273,36 @@ class TroxyCore:
             if action is not None:
                 return action
         return self._order(body, bft_request, client_machine)
+
+    def _forward(
+        self,
+        client_request: Request,
+        bft_request: Request,
+        client_machine: str,
+        target: str,
+    ):
+        """Hand a foreign-key request to its owning group while staying
+        the reply convergence point (docs/SHARDING.md). The voter state
+        is registered exactly as for a local ordering — replies from the
+        owning group's replicas converge on ``origin`` (this replica) —
+        but flagged foreign so the result is never installed locally."""
+        self.stats.forwarded_out += 1
+        key = (bft_request.client_id, bft_request.request_id)
+        self._pending[key] = _Pending(
+            client_request, bft_request, client_machine, foreign=True
+        )
+        while len(self._pending) > self.MAX_PENDING:
+            self._pending.pop(next(iter(self._pending)))
+            self.stats.pending_evicted += 1
+        yield from self.node.compute(self._mac_cost_digest)
+        tag = self._instance_key.sign(
+            ForwardedRequest.auth_input(bft_request, self.replica_id)
+        )
+        return Action(
+            "forward",
+            dst=target,
+            forward=ForwardedRequest(bft_request, self.replica_id, tag),
+        )
 
     #: upper bound on in-flight voter records; abandoned entries (e.g.
     #: clients that failed over elsewhere) are evicted oldest-first.
@@ -244,8 +326,20 @@ class TroxyCore:
         # Cache identity is the *operation*, shared across clients.
         return op.digest()
 
-    def _try_fast_read(self, client_request: Request, bft_request: Request, client_machine: str):
-        """Fig. 4, check_cache: local lookup then f remote probes."""
+    def _try_fast_read(
+        self,
+        client_request: Request,
+        bft_request: Request,
+        client_machine: str,
+        origin: str = "",
+    ):
+        """Fig. 4, check_cache: local lookup then f remote probes.
+
+        ``origin`` is set for forwarded reads resolved on behalf of
+        another group's fronting Troxy (docs/SHARDING.md): the probes and
+        quorum comparison are identical, only the outcome delivery
+        differs (ShardFastReply / plain ordering instead of a sealed
+        client reply / local voter registration)."""
         self.stats.fast_read_attempts += 1
         span = None
         if self.obs is not None:
@@ -279,7 +373,8 @@ class TroxyCore:
                     (replica_id, CacheQuery(request_digest, self.replica_id, nonce, tag))
                 )
             self._fast_reads[nonce] = _FastRead(
-                client_request, bft_request, client_machine, cached, expected=set(chosen)
+                client_request, bft_request, client_machine, cached,
+                expected=set(chosen), origin=origin,
             )
             outcome = "probe"
             return Action("query", queries=tuple(queries), nonce=nonce)
@@ -344,7 +439,7 @@ class TroxyCore:
                 self.obs.fast_read_result(self, state.client_request, "conflict")
             # Entry may be outdated: drop it and order the read instead.
             self.cache.remove(self._cache_key(state.bft_request.op))
-            return self._order(state.client_request, state.bft_request, state.client_machine)
+            return self._fast_read_fallback(state)
         if state.expected:
             return Action("wait")
         # All f remote caches match the local one: fast read succeeds.
@@ -353,6 +448,8 @@ class TroxyCore:
         self.stats.fast_read_hits += 1
         if self.obs is not None:
             self.obs.fast_read_result(self, state.client_request, "hit")
+        if state.origin:
+            return (yield from self._attest_shard_fast_reply(state))
         envelope = yield from self._seal_client_reply(
             state.client_request, state.local_reply.result, state.local_reply.request_digest
         )
@@ -369,7 +466,125 @@ class TroxyCore:
         self.stats.fast_read_timeouts += 1
         if self.obs is not None:
             self.obs.fast_read_result(self, state.client_request, "timeout")
+        return self._fast_read_fallback(state)
+
+    def _fast_read_fallback(self, state: _FastRead) -> Action:
+        """Order the read after a failed fast path. For a forwarded read
+        the voter state lives at the fronting Troxy (the request's
+        ``origin``), so there is nothing to register here — the replicas'
+        replies converge there through the normal reply path."""
+        if state.origin:
+            self.stats.ordered_requests += 1
+            return Action("order", request=state.bft_request)
         return self._order(state.client_request, state.bft_request, state.client_machine)
+
+    def _attest_shard_fast_reply(self, state: _FastRead):
+        """Package a completed fast-read quorum for the fronting Troxy
+        (docs/SHARDING.md): this enclave vouches that f+1 caches of the
+        owning group agreed on the result."""
+        reply = Reply(
+            replica_id=self.replica_id,
+            client_id=state.bft_request.client_id,
+            request_id=state.bft_request.request_id,
+            result=state.local_reply.result,
+            request_digest=state.local_reply.request_digest,
+        )
+        yield from self.node.compute(self._mac_base + self._mac_per_byte * reply.wire_size)
+        tag = self._instance_key.sign(
+            ShardFastReply.auth_input(reply, self.replica_id)
+        )
+        self.stats.shard_fast_replies_sent += 1
+        return Action(
+            "send_shard_reply",
+            dst=state.origin,
+            shard_reply=ShardFastReply(reply, self.replica_id, tag),
+        )
+
+    # -- ecall: cross-shard routing (docs/SHARDING.md) --------------------------------
+
+    def handle_forwarded_request(self, fwd: ForwardedRequest):
+        """A fronting Troxy handed us a request whose key this group
+        owns (ecall #10). Verify the forwarder's Troxy authentication,
+        then treat the request like a locally translated one — fast-read
+        attempt for reads, ordering otherwise — except that the voter
+        state stays at the fronting Troxy (the request's ``origin``)."""
+        request = fwd.request
+        if not isinstance(request, Request):
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="not a forwarded request")
+        yield from self.node.compute(self._mac_cost_digest)
+        forwarder_key = self.keyring.troxy_instance(fwd.forwarder)
+        if not forwarder_key.verify(
+            ForwardedRequest.auth_input(request, fwd.forwarder), fwd.tag
+        ):
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="bad forward tag")
+        self.stats.forwarded_in += 1
+        if self.router is not None:
+            decision = self.router.route(request.op, self.replica_id)
+            if decision.kind == "frozen":
+                self.stats.frozen_rejects += 1
+                return Action("drop", reason="key frozen for shard migration")
+            if decision.kind == "forward":
+                # Straggler that crossed a ring cut-over in flight: pass
+                # it to the new owner. The original origin is preserved,
+                # so the vote stream still converges at the fronting
+                # Troxy wherever the request finally orders.
+                self.stats.reforwards += 1
+                yield from self.node.compute(self._mac_cost_digest)
+                tag = self._instance_key.sign(
+                    ForwardedRequest.auth_input(request, self.replica_id)
+                )
+                return Action(
+                    "forward",
+                    dst=decision.target,
+                    forward=ForwardedRequest(request, self.replica_id, tag),
+                )
+        if (
+            self.fast_reads
+            and request.op.is_read
+            and self.monitor.should_try_fast_read()
+        ):
+            action = yield from self._try_fast_read(
+                request, request, "", origin=request.origin
+            )
+            if action is not None:
+                return action
+        self.stats.ordered_requests += 1
+        return Action("order", request=request)
+
+    def handle_shard_fast_reply(self, sfr: ShardFastReply):
+        """The owning group's attested fast-read verdict for a request
+        we forwarded (ecall #11). One Troxy enclave vouching for a
+        completed f+1 cache agreement carries the same trust as a
+        CacheEntryReply — mutually attested enclaves under the group
+        secret — so the verdict is final: seal it for the client."""
+        reply = sfr.reply
+        if not isinstance(reply, Reply):
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="not a shard fast reply")
+        yield from self.node.compute(self._mac_base + self._mac_per_byte * reply.wire_size)
+        responder_key = self.keyring.troxy_instance(sfr.responder)
+        if not responder_key.verify(
+            ShardFastReply.auth_input(reply, sfr.responder), sfr.tag
+        ):
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="bad shard fast reply tag")
+        key = (reply.client_id, reply.request_id)
+        pending = self._pending.get(key)
+        if pending is None or pending.done or not pending.foreign:
+            return Action("wait")  # late, replayed, or fallback already voted
+        pending.done = True
+        del self._pending[key]
+        self.stats.shard_fast_replies_accepted += 1
+        # Foreign key: never installed into the local cache — its cache
+        # entries and invalidation epochs live in the owning group only.
+        envelope = yield from self._seal_client_reply(
+            pending.client_request, reply.result, reply.request_digest
+        )
+        if envelope is None:
+            return Action("drop", reason="no client session")
+        return Action("reply", dst=pending.client_machine, envelope=envelope)
 
     # -- ecall: reply path ----------------------------------------------------------------
 
@@ -543,7 +758,11 @@ class TroxyCore:
             pending.done = True
             del self._pending[key]
             self.stats.replies_voted += 1
-            if self.fast_reads and pending.bft_request.op.is_read:
+            if (
+                self.fast_reads
+                and pending.bft_request.op.is_read
+                and not pending.foreign
+            ):
                 # Install the *voted* ordered-read result — unless a
                 # write to any of its keys was invalidated while the
                 # quorum was forming. A late vote completing after such a

@@ -19,11 +19,17 @@ from ..sgx.enclave import Enclave
 from ..sim.engine import Environment, Process
 from ..sim.network import Network, Node
 from .core import Action, TroxyCore
-from .messages import BatchedReply, CacheEntryReply, CacheQuery
+from .messages import (
+    BatchedReply,
+    CacheEntryReply,
+    CacheQuery,
+    ForwardedRequest,
+    ShardFastReply,
+)
 
 #: ecalls the host registers on the enclave; together with Hybster's
-#: three trusted-subsystem certify calls this stays well under the
-#: prototype's 16-entry interface.
+#: three trusted-subsystem certify calls this stays under the
+#: prototype's 16-entry interface (14 in total).
 TROXY_ECALLS = (
     "install_session",
     "handle_client_envelope",
@@ -34,6 +40,8 @@ TROXY_ECALLS = (
     "authenticate_batch_replies",
     "handle_replica_reply",
     "handle_replica_reply_batch",
+    "handle_forwarded_request",
+    "handle_shard_fast_reply",
 )
 
 
@@ -152,6 +160,16 @@ class TroxyHost:
             )
             for action in actions:
                 yield from self._act(action)
+        elif isinstance(payload, ForwardedRequest):
+            action = yield from self.enclave.ecall(
+                "handle_forwarded_request", payload, bytes_in=payload.wire_size
+            )
+            yield from self._act(action)
+        elif isinstance(payload, ShardFastReply):
+            action = yield from self.enclave.ecall(
+                "handle_shard_fast_reply", payload, bytes_in=payload.wire_size
+            )
+            yield from self._act(action)
         else:
             self.replica.dispatch(payload)
 
@@ -176,6 +194,10 @@ class TroxyHost:
             self.net.send(self.node.name, action.dst, action.reply)
         elif action.kind == "send_reply_batch":
             self.net.send(self.node.name, action.dst, action.batch)
+        elif action.kind == "forward":
+            self.net.send(self.node.name, action.dst, action.forward)
+        elif action.kind == "send_shard_reply":
+            self.net.send(self.node.name, action.dst, action.shard_reply)
         elif action.kind == "deliver_local":
             follow_up = yield from self.enclave.ecall(
                 "handle_replica_reply", action.reply, bytes_in=action.reply.wire_size

@@ -79,6 +79,67 @@ class BatchedReply:
 
 
 @dataclass(frozen=True)
+class ForwardedRequest:
+    """A client request handed to its key's owning group (docs/SHARDING.md).
+
+    In a sharded deployment the Troxy that terminates the client's TLS
+    session may not co-locate with the agreement group owning the key.
+    The fronting Troxy stays the reply convergence point (``origin`` on
+    the embedded request names it), and forwards the authenticated BFT
+    request to the same-index replica of the owning group. The tag is
+    computed under the *forwarder's* Troxy instance key: the receiving
+    enclave thereby knows a genuine Troxy — not the untrusted host —
+    produced the translation from client envelope to BFT request.
+    """
+
+    request: object  # hybster Request; origin == forwarder
+    forwarder: str  # replica id of the fronting Troxy
+    tag: bytes
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "wire_size",
+            _HEADER + self.request.wire_size + len(self.forwarder) + MAC_SIZE,
+        )
+
+    @staticmethod
+    def auth_input(request, forwarder: str) -> bytes:
+        return b"FW|" + request.auth_bytes() + b"|" + forwarder.encode()
+
+
+@dataclass(frozen=True)
+class ShardFastReply:
+    """A remote group's fast-read verdict for a forwarded read.
+
+    When the owning group's Troxy resolves a forwarded read on its fast
+    path (local cache hit corroborated by f remote caches, Fig. 4), it
+    vouches for the result to the fronting Troxy with this message
+    instead of falling back to ordering. One Troxy enclave attesting a
+    completed f+1 cache agreement to another carries the same trust as
+    a :class:`CacheEntryReply` — mutually attested enclaves under the
+    shared group secret — so the fronting voter accepts it as final.
+    """
+
+    reply: object  # hybster Reply carrying the cached result
+    responder: str  # replica id of the attesting Troxy
+    tag: bytes
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "wire_size",
+            _HEADER + self.reply.wire_size + len(self.responder) + MAC_SIZE,
+        )
+
+    @staticmethod
+    def auth_input(reply, responder: str) -> bytes:
+        return b"SF|" + reply.auth_bytes() + b"|" + responder.encode()
+
+
+@dataclass(frozen=True)
 class CacheEntryReply:
     """A remote Troxy's answer: the digest of its cached reply, if any."""
 

@@ -1,6 +1,12 @@
 """Workload side: legacy clients and load generators."""
 
-from .distributions import HotspotKeys, KeyDistribution, UniformKeys, ZipfKeys
+from .distributions import (
+    HotspotKeys,
+    KeyDistribution,
+    ShardedKeys,
+    UniformKeys,
+    ZipfKeys,
+)
 from .legacy import LegacyClient, LegacyClientStats
 from .loadgen import ClosedLoop, LoadStats, PacedLoop, measure
 
@@ -12,6 +18,7 @@ __all__ = [
     "LegacyClientStats",
     "LoadStats",
     "PacedLoop",
+    "ShardedKeys",
     "UniformKeys",
     "ZipfKeys",
     "measure",
