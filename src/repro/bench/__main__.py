@@ -29,7 +29,7 @@ import sys
 import time
 from pathlib import Path
 
-from . import experiments
+from . import critpath, experiments
 from .report import (
     format_latency_series,
     format_throughput_series,
@@ -157,8 +157,16 @@ def run_sharding():
             f"  {point.x:>9}: p50 {point.summary.p50 * 1000:7.3f} ms  "
             f"({point.throughput:.0f} op/s)"
         )
+    lines.extend(critpath.sharding_gap_notes())
     save_and_print("sharding", "\n".join(lines))
     return points
+
+
+def run_critpath():
+    """Critical-path attribution sidecars (benchmarks/results/critpath_*.txt)."""
+    for name, producer in critpath.SIDECARS.items():
+        save_and_print(name, producer())
+    return []
 
 
 def run_table1():
@@ -184,6 +192,7 @@ RUNNERS = {
     "table1": run_table1,
     "batching": run_batching,
     "sharding": run_sharding,
+    "critpath": run_critpath,
 }
 
 

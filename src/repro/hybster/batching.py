@@ -39,6 +39,10 @@ class BatchAssembler:
         self._buffer: deque[tuple[Request, float]] = deque()
         self._ewma_gap: Optional[float] = None
         self._last_arrival: Optional[float] = None
+        #: Queue wait of each request in the last :meth:`take`, in take
+        #: order — the wait side of the critical-path wait/service split
+        #: (repro.obs.critpath); empty until the first take.
+        self.last_take_waits: tuple[float, ...] = ()
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -94,10 +98,15 @@ class BatchAssembler:
             return "timeout"
         return None
 
-    def take(self) -> tuple[Request, ...]:
-        """Pop the next batch (up to ``max_batch`` requests, FIFO)."""
+    def take(self, now: float = 0.0) -> tuple[Request, ...]:
+        """Pop the next batch (up to ``max_batch`` requests, FIFO).
+
+        ``now`` stamps :attr:`last_take_waits` with how long each taken
+        request sat buffered (enqueue-to-take, the batch-queue wait)."""
         count = min(len(self._buffer), self.config.max_batch)
-        return tuple(self._buffer.popleft()[0] for _ in range(count))
+        taken = [self._buffer.popleft() for _ in range(count)]
+        self.last_take_waits = tuple(now - t for _request, t in taken)
+        return tuple(request for request, _t in taken)
 
     def drain(self) -> tuple[Request, ...]:
         """Drop and return everything buffered (view change / restart);

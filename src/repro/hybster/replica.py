@@ -413,6 +413,8 @@ class Replica:
                 yield from self._order(request)
             else:
                 self._batcher.enqueue(request, self.env.now)
+                if self.obs is not None:
+                    self.obs.queue_enter(self, request)
                 self._batch_signal.put(True)
         elif relay:
             yield from self.node.compute(self._tx_cost(request.wire_size) + self._mac_cost_const)
@@ -528,9 +530,12 @@ class Replica:
             inflight = len(self._inflight_batch_seqs)
             reason = batcher.flush_reason(self.env.now, inflight)
             if reason is not None:
-                requests = batcher.take()
+                requests = batcher.take(self.env.now)
                 if not requests:
                     return
+                if self.obs is not None:
+                    for request in requests:
+                        self.obs.queue_leave(self, request, reason, len(requests))
                 payload = requests[0] if len(requests) == 1 else Batch(requests)
                 self.stats.batches_sent += 1
                 self.stats.batched_requests += len(requests)
@@ -568,6 +573,8 @@ class Replica:
             return
         for request in self._batcher.drain():
             self._inflight.discard((request.client_id, request.request_id))
+            if self.obs is not None:
+                self.obs.queue_drop(self, request)
         self._inflight_batch_seqs.clear()
 
     # -- ordering: follower -------------------------------------------------------------------

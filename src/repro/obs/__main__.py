@@ -32,18 +32,24 @@ def run_workload(
     duration: float = 0.25,
     write_ratio: float = 0.1,
     key_space: int = 4,
+    batching=None,
+    plane: ObsPlane = None,
 ) -> tuple[ObsPlane, object]:
     """Drive one instrumented run; returns (finalized plane, Summary).
 
     A read-mostly contended mix exercises every span type: cold reads
     order (order/execute/vote), warm reads hit the fast-read cache, and
-    the occasional write invalidates entries.
-    """
-    plane = ObsPlane()
+    the occasional write invalidates entries. ``batching`` takes a
+    :class:`repro.hybster.config.BatchConfig` (or the string presets
+    accepted by the builders) so critical-path attribution can watch
+    the batch-queue phase appear; ``plane`` substitutes a subclass
+    (e.g. a :class:`~repro.obs.health.HealthPlane`)."""
+    plane = plane if plane is not None else ObsPlane()
     source = mixed_source(write_ratio, random.Random(seed), key_space=key_space)
     _, summary = _run_system(
         system, source, reply_size=256, n_clients=n_clients,
         warmup=warmup, duration=duration, seed=seed, obs=plane,
+        batching=batching,
     )
     plane.finalize()
     return plane, summary

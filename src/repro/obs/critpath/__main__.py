@@ -1,0 +1,113 @@
+"""CLI: run an instrumented workload and print its critical-path report.
+
+Usage::
+
+    python -m repro.obs.critpath                        # default workload
+    python -m repro.obs.critpath --seed 7 --batching adaptive
+    python -m repro.obs.critpath --shards 4 --out crit  # sharded cell
+    python -m repro.obs.critpath --out crit             # + files
+
+Runs the same deterministic closed-loop workload as ``python -m
+repro.obs`` (or, with ``--shards``, the sharded write cell from the
+sharding benchmark), attributes every completed request with
+:mod:`repro.obs.critpath`, and prints the bottleneck report. With
+``--out`` it also writes ``critpath.txt`` (the report), ``critpath.json``
+(the aggregate profile), and ``trace.json`` (Chrome trace with
+critical-path spans highlighted: ``args.critical`` / category
+``critical``). Same arguments -> byte-identical outputs; CI diffs two
+seeded runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import analyze, highlighted_chrome_trace, render_report
+
+
+def _label(args) -> str:
+    if args.shards:
+        return f"sharded writes, {args.shards} groups, seed {args.seed}"
+    parts = [args.system, f"seed {args.seed}", f"{args.clients} clients"]
+    if args.batching:
+        parts.append(f"batching {args.batching}")
+    return ", ".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.critpath",
+        description="Attribute per-request latency to protocol phases "
+        "and print a deterministic bottleneck report.",
+    )
+    parser.add_argument("--system", default="etroxy",
+                        choices=("bl", "ctroxy", "etroxy"),
+                        help="deployment to instrument (default: etroxy)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="simulation seed (default: 42)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="closed-loop clients (default: 4)")
+    parser.add_argument("--warmup", type=float, default=0.05,
+                        help="simulated warm-up seconds (default: 0.05)")
+    parser.add_argument("--duration", type=float, default=0.25,
+                        help="simulated measurement seconds (default: 0.25)")
+    parser.add_argument("--write-ratio", type=float, default=0.1,
+                        help="fraction of writes in the mix (default: 0.1)")
+    parser.add_argument("--batching", default=None,
+                        help="agreement batching: off, an int, or adaptive "
+                        "(default: env/config default)")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="instead of --system, attribute the N-group "
+                        "sharded write cell (forwarding hop visible)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="also write critpath.txt / critpath.json / "
+                        "trace.json into DIR")
+    args = parser.parse_args(argv)
+
+    if args.shards:
+        # Local import: repro.bench builds on the cluster builders, and
+        # keeping it out of the default path keeps `--help` instant.
+        from ...bench.critpath import attributed_sharded_run
+
+        analysis, _summary, _cluster, plane = attributed_sharded_run(
+            shards=args.shards, seed=args.seed,
+            n_clients=max(args.clients, 24),
+            warmup=args.warmup, duration=args.duration,
+            batching=args.batching,
+        )
+        spans = plane.spans.spans
+    else:
+        from ..__main__ import run_workload
+
+        plane, _summary = run_workload(
+            system=args.system, seed=args.seed, n_clients=args.clients,
+            warmup=args.warmup, duration=args.duration,
+            write_ratio=args.write_ratio, batching=args.batching,
+        )
+        analysis = analyze(plane.spans)
+        spans = plane.spans.spans
+
+    report = render_report(analysis, _label(args))
+    print(report)
+
+    if args.out is not None:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "critpath.txt").write_text(report + "\n")
+        (out / "critpath.json").write_text(
+            json.dumps(analysis.as_dict(), indent=1, sort_keys=True) + "\n"
+        )
+        trace = highlighted_chrome_trace(spans, analysis)
+        (out / "trace.json").write_text(
+            json.dumps(trace, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        for name in ("critpath.txt", "critpath.json", "trace.json"):
+            print(f"{name}: {out / name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from .detectors import (
     Finding,
     MigrationStallDetector,
     ModeSwitchChurnDetector,
+    QueueSaturationDetector,
     ReplicaDivergenceDetector,
     SealedCounterStallDetector,
     ShardImbalanceDetector,
@@ -54,6 +55,7 @@ __all__ = [
     "MigrationStallDetector",
     "ModeSwitchChurnDetector",
     "NodeDelta",
+    "QueueSaturationDetector",
     "RegistryDeltas",
     "ReplicaDivergenceDetector",
     "SealedCounterStallDetector",

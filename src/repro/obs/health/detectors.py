@@ -24,6 +24,7 @@ registry already carries:
 ``client_retry_spike``   client-side retransmissions (tamper/corrupt/loss)
 ``shard_imbalance``      one agreement group executing far above fair share
 ``migration_stall``      a live shard handoff frozen past its expected window
+``queue_saturation``     leader batch-queue wait dwarfing ordering service
 ======================  ==================================================
 
 Everything here is pure arithmetic on snapshot fields: no simulation
@@ -499,6 +500,68 @@ class MigrationStallDetector(Detector):
         )]
 
 
+class QueueSaturationDetector(Detector):
+    """Leader batch-queue wait dwarfing ordering service time.
+
+    The critical-path wait/service split (repro.obs.critpath) made the
+    batch queue a first-class phase: ``hybster.queue`` spans measure how
+    long each request sat in the leader's :class:`BatchAssembler`, and
+    ``hybster.order`` spans how long cutting-plus-certifying a slot
+    takes. Healthy batching holds the mean wait within a small multiple
+    of the service time (the assembler waits at most ``batch_wait``, and
+    adaptively less under light load). When arrivals outrun the drain
+    rate — pipeline slots all in flight, cutoff never reached fast
+    enough — waits grow with the backlog while service stays flat, so
+    the wait/service ratio diverges. Fires when the ratio exceeds
+    ``ratio`` for ``patience`` consecutive windows with at least
+    ``min_waits`` queued requests per window; that margin keeps a
+    healthy adaptive leader (ratio ~15 on the batching benchmark) quiet.
+    """
+
+    name = "queue_saturation"
+
+    def __init__(self, ratio: float = 40.0, min_waits: int = 6,
+                 patience: int = 2):
+        super().__init__()
+        self.ratio = ratio
+        self.min_waits = min_waits
+        self.patience = patience
+        self._hot_for: dict[str, int] = {}
+
+    def _conditions(self, win: WindowSnapshot) -> list[Finding]:
+        out = []
+        for node in win.replica_nodes():
+            delta = win.per_node[node]
+            service = delta.mean_order_service
+            saturated = (
+                delta.queue_waits >= self.min_waits
+                and service > 0.0
+                and delta.mean_queue_wait >= self.ratio * service
+            )
+            if saturated:
+                self._hot_for[node] = self._hot_for.get(node, 0) + 1
+            else:
+                self._hot_for[node] = 0
+            if self._hot_for[node] >= self.patience:
+                ratio = delta.mean_queue_wait / service
+                out.append(Finding(
+                    kind="queue_saturation", node=node, severity="warn",
+                    detail={
+                        "queued_requests": delta.queue_waits,
+                        "mean_queue_wait": round(delta.mean_queue_wait, 9),
+                        "mean_order_service": round(service, 9),
+                        "wait_service_ratio": round(ratio, 2),
+                        "hot_windows": self._hot_for[node],
+                    },
+                    metrics=(
+                        ("queue.wait.mean", delta.mean_queue_wait),
+                        ("order.service.mean", service),
+                        ("queue.wait_service_ratio", ratio),
+                    ),
+                ))
+        return out
+
+
 def default_detectors() -> list[Detector]:
     """The full catalogue at its default thresholds."""
     return [
@@ -512,4 +575,5 @@ def default_detectors() -> list[Detector]:
         ClientRetrySpikeDetector(),
         ShardImbalanceDetector(),
         MigrationStallDetector(),
+        QueueSaturationDetector(),
     ]

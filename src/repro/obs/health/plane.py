@@ -114,6 +114,8 @@ class HealthPlane(ObsPlane):
     # -- attachment -----------------------------------------------------------
 
     def attach(self, cluster) -> "HealthPlane":
+        if self.cluster is cluster:
+            return self  # idempotent, like ObsPlane: don't re-baseline
         super().attach(cluster)
         self._replica_ids = sorted(
             replica.replica_id for replica in getattr(cluster, "replicas", ())
@@ -161,6 +163,17 @@ class HealthPlane(ObsPlane):
         if self._win is None:
             return
         self._maybe_tick()
+        # Batch-queue wait vs ordering service feed the queue_saturation
+        # detector; force-closed (unfinished) spans have no real duration.
+        if span.node is not None and not span.attrs.get("unfinished"):
+            if span.name == "hybster.queue":
+                nd = self._win.node(span.node)
+                nd.queue_waits += 1
+                nd.queue_wait_sum += span.duration
+            elif span.name == "hybster.order":
+                nd = self._win.node(span.node)
+                nd.order_services += 1
+                nd.order_service_sum += span.duration
         if span.name != "client.invoke":
             return
         self._open_invokes -= 1

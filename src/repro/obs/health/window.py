@@ -32,6 +32,12 @@ class NodeDelta:
     votes_decided: int = 0
     switches: int = 0
     invalid_messages: int = 0
+    # Batch-queue wait vs ordering service, accumulated from closed
+    # hybster.queue / hybster.order spans (repro.obs.critpath phases).
+    queue_waits: int = 0
+    queue_wait_sum: float = 0.0
+    order_services: int = 0
+    order_service_sum: float = 0.0
     # Sampled absolutes (value at window end) and their window deltas.
     view: int = 0
     view_delta: int = 0
@@ -43,6 +49,17 @@ class NodeDelta:
     @property
     def fast_attempts(self) -> int:
         return self.fast_hits + self.fast_conflicts + self.fast_timeouts
+
+    @property
+    def mean_queue_wait(self) -> float:
+        return self.queue_wait_sum / self.queue_waits if self.queue_waits else 0.0
+
+    @property
+    def mean_order_service(self) -> float:
+        return (
+            self.order_service_sum / self.order_services
+            if self.order_services else 0.0
+        )
 
     @property
     def fast_aborts(self) -> int:

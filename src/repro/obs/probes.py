@@ -22,12 +22,21 @@ Span taxonomy (one tree per request, trace id ``client#request_id``):
 ``enclave.ecall:<name>``   one enclave boundary crossing
 ``troxy.cache``            fast-read cache check (Fig. 4 check_cache)
 ``troxy.fast_read``        instant event: hit / conflict / timeout
+``hybster.queue``          leader batch-queue wait (enqueue -> take)
 ``hybster.order``          leader slot assignment + certification
 ``hybster.commit``         instant event: slot reached commit quorum
 ``hybster.execute``        state-machine execution of the request
 ``troxy.vote``             one reply vote at the convergence Troxy
+``shard.forward``          forwarding hop to the owning group
 ``monitor.switch``         instant event: adaptive mode switch
 ========================  =============================================
+
+Every span of a trace links (directly or transitively) to the trace's
+``client.invoke`` root, so each trace is a connected tree — the
+invariant :mod:`repro.obs.critpath` reconstructs causal chains from.
+Spans that would otherwise dangle (batch-queue waits recorded on the
+leader, per-request order spans of a batched slot) are parented to the
+root explicitly.
 """
 
 from __future__ import annotations
@@ -40,12 +49,27 @@ from .spans import Span, SpanRecorder, trace_key
 
 
 def _maybe_trace(message) -> Optional[str]:
-    """Trace id of anything carrying client_id/request_id, else None."""
-    client_id = getattr(message, "client_id", None)
-    request_id = getattr(message, "request_id", None)
-    if client_id is None or request_id is None:
-        return None
-    return f"{client_id}#{request_id}"
+    """Trace id of anything carrying client_id/request_id, else None.
+
+    Unwraps the common single-payload envelopes (``SecureEnvelope.body``,
+    ``ForwardedRequest.request``, ``ShardFastReply.reply``,
+    ``Tagged.msg``/``Forward.request``, ``Order.request``) so spans for
+    wrapped protocol messages still join their request's trace tree.
+    """
+    for _ in range(3):
+        if message is None:
+            return None
+        client_id = getattr(message, "client_id", None)
+        request_id = getattr(message, "request_id", None)
+        if client_id is not None and request_id is not None:
+            return f"{client_id}#{request_id}"
+        message = (
+            getattr(message, "body", None)
+            or getattr(message, "request", None)
+            or getattr(message, "reply", None)
+            or getattr(message, "msg", None)
+        )
+    return None
 
 
 class _ObservedClient:
@@ -89,6 +113,14 @@ class ObsPlane:
         # is parented here even though it runs on other nodes after the
         # order span closed.
         self._order_span: dict[str, Span] = {}
+        # The root client.invoke span per in-flight trace: spans recorded
+        # on nodes where no ancestor is open (batch-queue waits, batched
+        # order members) are parented here to keep the tree connected.
+        self._root_span: dict[str, Span] = {}
+        # Open batch-queue span per trace (leader side).
+        self._queue_span: dict[str, Span] = {}
+        # Open forwarding-hop span per trace (fronting Troxy side).
+        self._forward_span: dict[str, Span] = {}
 
     # -- attachment -----------------------------------------------------------
 
@@ -98,7 +130,18 @@ class ObsPlane:
         Works for any cluster shape from :mod:`repro.bench.clusters`;
         sections that a deployment lacks (no Troxy hosts on the
         baseline) are simply skipped.
+
+        Idempotent: re-attaching to the cluster the plane is already on
+        is a no-op (probes are installed exactly once); attaching to a
+        *different* cluster while attached raises — call :meth:`detach`
+        first, double-installed hooks would double-count every metric.
         """
+        if self.cluster is cluster:
+            return self
+        if self.cluster is not None:
+            raise RuntimeError(
+                "ObsPlane is already attached to another cluster; detach() first"
+            )
         self.cluster = cluster
         self._env = cluster.env
         for replica in getattr(cluster, "replicas", ()):
@@ -122,7 +165,10 @@ class ObsPlane:
 
         The cluster keeps running untouched afterwards; recorded
         metrics and spans stay readable on the plane. A detached plane
-        can be re-attached (to the same or another cluster).
+        can be re-attached (to the same or another cluster). Idempotent:
+        detaching an unattached plane is a no-op, and hooks installed by
+        one attach() are removed exactly once however often detach()
+        runs.
         """
         cluster, self.cluster = self.cluster, None
         if cluster is None:
@@ -163,11 +209,13 @@ class ObsPlane:
             "client.invoke", self.now, trace_id=trace, node=node.name,
             client=client.client_id, op=op.name, read=op.is_read,
         )
+        self._root_span[trace] = span
         self.registry.counter(
             "client_invocations_total", "Client operations started",
             node=node.name,
         ).inc()
         result = yield from client.invoke(op)
+        self._root_span.pop(trace, None)
         self._end(span, retries=result.retries)
         self.registry.histogram(
             "client_latency_seconds", "End-to-end client latency",
@@ -185,9 +233,6 @@ class ObsPlane:
         trace = None
         for arg in args:
             trace = _maybe_trace(arg)
-            if trace is None:
-                body = getattr(arg, "body", None)  # SecureEnvelope
-                trace = _maybe_trace(body) if body is not None else None
             if trace is None:
                 nonce = getattr(arg, "nonce", None)  # CacheEntryReply
                 if nonce is not None:
@@ -223,9 +268,6 @@ class ObsPlane:
 
     def host_begin(self, host, payload, src: str):
         trace = _maybe_trace(payload)
-        if trace is None:
-            body = getattr(payload, "body", None)
-            trace = _maybe_trace(body) if body is not None else None
         attrs = {"type": type(payload).__name__, "src": src}
         nonce = getattr(payload, "nonce", None)
         if trace is None and nonce is not None:
@@ -298,24 +340,35 @@ class ObsPlane:
             if trace is not None:
                 self._order_span[trace] = span
             return span
-        # Batched slot: one order span, registered under every member
-        # request's trace so each per-request execute span stays
-        # attributable after batching aggregated the agreement step.
-        span = self.spans.begin(
-            "hybster.order", self.now, node=replica.node.name,
-            batch=len(requests),
-        )
+        # Batched slot: one order span *per member request* (all spanning
+        # the same agreement round), so each trace's tree stays connected
+        # and per-request ordering time stays attributable after batching
+        # aggregated the agreement step. Members are parented to their
+        # trace roots — no ancestor is open on the leader at order time.
+        spans = []
         for request in requests:
             trace = _maybe_trace(request)
+            span = self.spans.begin(
+                "hybster.order", self.now, trace_id=trace,
+                node=replica.node.name, batch=len(requests),
+                parent=self._root_span.get(trace) if trace is not None else None,
+            )
             if trace is not None:
                 self._order_span[trace] = span
-        return span
+            spans.append(span)
+        return tuple(spans)
 
-    def order_end(self, span: Span, seq: int) -> None:
-        if not self._end(span, seq=seq):
+    def order_end(self, span, seq: int) -> None:
+        members = span if isinstance(span, tuple) else (span,)
+        ended = False
+        for member in members:
+            ended = self._end(member, seq=seq) or ended
+        if not ended:
             return
+        # One slot per order round, however many member spans cover it.
         self.registry.counter(
-            "orders_total", "Slots assigned by the leader", node=span.node,
+            "orders_total", "Slots assigned by the leader",
+            node=members[0].node,
         ).inc()
 
     def certify_scope(self, node_name: str, payload) -> None:
@@ -347,6 +400,71 @@ class ObsPlane:
             "batch_pipeline_depth", "Batches in flight after this flush",
             node=node,
         ).set(depth)
+
+    # -- hybster batch queue ---------------------------------------------------------
+
+    def queue_enter(self, replica, request) -> Optional[Span]:
+        """Leader buffered ``request`` into the batch assembler."""
+        trace = _maybe_trace(request)
+        if trace is None:
+            return None
+        span = self.spans.begin(
+            "hybster.queue", self.now, trace_id=trace, node=replica.node.name,
+            parent=self._root_span.get(trace),
+        )
+        self._queue_span[trace] = span
+        return span
+
+    def queue_leave(self, replica, request, reason: str, size: int) -> None:
+        """``request`` left the batch queue into a cut batch (``reason``
+        is the flush trigger, ``size`` the batch it joined)."""
+        trace = _maybe_trace(request)
+        span = self._queue_span.pop(trace, None) if trace is not None else None
+        if span is None or not self._end(span, reason=reason, batch=size):
+            return
+        self.registry.counter(
+            "queue_requests_total", "Requests leaving the leader batch queue",
+            node=span.node, reason=reason,
+        ).inc()
+        self.registry.histogram(
+            "queue_wait_seconds", "Sim-time spent in the leader batch queue",
+            node=span.node,
+        ).observe(span.duration)
+
+    def queue_drop(self, replica, request) -> None:
+        """``request`` was drained unordered (view change / restart)."""
+        self.queue_leave(replica, request, "dropped", 0)
+
+    # -- shard forwarding hop -----------------------------------------------------------
+
+    def forward_begin(self, core, request, target: str) -> Optional[Span]:
+        """Fronting Troxy hands ``request`` to its owning group."""
+        trace = _maybe_trace(request)
+        if trace is None:
+            return None
+        span = self.spans.begin(
+            "shard.forward", self.now, trace_id=trace, node=core.node.name,
+            target=target,
+        )
+        self._forward_span[trace] = span
+        self.registry.counter(
+            "shard_forwards_total", "Requests forwarded to their owning group",
+            node=core.node.name, target=target,
+        ).inc()
+        return span
+
+    def forward_received(self, core, request) -> None:
+        """The owning group accepted a forwarded request: the hop —
+        transit plus remote host queueing — ends here; the owning
+        group's handling continues inside its own ecall span."""
+        trace = _maybe_trace(request)
+        span = self._forward_span.pop(trace, None) if trace is not None else None
+        if span is None or not self._end(span, received_by=core.node.name):
+            return
+        self.registry.histogram(
+            "forward_hop_seconds", "Fronting-to-owning-group hop time",
+            node=span.node,
+        ).observe(span.duration)
 
     def order_committed(self, replica, request, seq: int) -> None:
         self.spans.event(

@@ -298,6 +298,8 @@ class TroxyCore:
         tag = self._instance_key.sign(
             ForwardedRequest.auth_input(bft_request, self.replica_id)
         )
+        if self.obs is not None:
+            self.obs.forward_begin(self, bft_request, target)
         return Action(
             "forward",
             dst=target,
@@ -520,6 +522,8 @@ class TroxyCore:
             self.stats.invalid_messages += 1
             return Action("drop", reason="bad forward tag")
         self.stats.forwarded_in += 1
+        if self.obs is not None:
+            self.obs.forward_received(self, request)
         if self.router is not None:
             decision = self.router.route(request.op, self.replica_id)
             if decision.kind == "frozen":
@@ -535,6 +539,8 @@ class TroxyCore:
                 tag = self._instance_key.sign(
                     ForwardedRequest.auth_input(request, self.replica_id)
                 )
+                if self.obs is not None:
+                    self.obs.forward_begin(self, request, decision.target)
                 return Action(
                     "forward",
                     dst=decision.target,

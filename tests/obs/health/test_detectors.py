@@ -6,6 +6,7 @@ from repro.obs.health.detectors import (
     EnclaveRebootDetector,
     FastReadAbortStormDetector,
     ModeSwitchChurnDetector,
+    QueueSaturationDetector,
     ReplicaDivergenceDetector,
     SealedCounterStallDetector,
     ViewChangeDetector,
@@ -151,6 +152,48 @@ def test_client_retry_spike():
     assert [f.kind for f in findings] == ["client_retry_spike"]
     assert findings[0].node == ""
     assert det.evaluate(_win(1)) == []
+
+
+def _queued(win, node="replica-0", waits=10, wait_mean=0.004,
+            services=10, service_mean=0.00005):
+    delta = win.node(node)
+    delta.queue_waits = waits
+    delta.queue_wait_sum = waits * wait_mean
+    delta.order_services = services
+    delta.order_service_sum = services * service_mean
+    return win
+
+
+def test_queue_saturation_needs_patience_and_ratio():
+    det = QueueSaturationDetector(ratio=40.0, min_waits=6, patience=2)
+    # Ratio 80x but only one hot window so far -> armed, not fired.
+    assert det.evaluate(_queued(_win(0))) == []
+    findings = det.evaluate(_queued(_win(1)))
+    assert [f.kind for f in findings] == ["queue_saturation"]
+    assert findings[0].severity == "warn"
+    assert findings[0].detail["wait_service_ratio"] == 80.0
+    # Edge-triggered: still saturated -> no re-fire.
+    assert det.evaluate(_queued(_win(2))) == []
+    # Recovery (healthy ratio) re-arms; two fresh hot windows fire again.
+    assert det.evaluate(_queued(_win(3), wait_mean=0.0001)) == []
+    assert det.evaluate(_queued(_win(4))) == []
+    assert det.evaluate(_queued(_win(5)))
+
+
+def test_queue_saturation_quiet_on_healthy_batching():
+    det = QueueSaturationDetector(ratio=40.0, min_waits=6, patience=2)
+    for index in range(4):
+        # Healthy adaptive leader: wait ~15x service (batching bench).
+        win = _queued(_win(index), wait_mean=0.00075)
+        assert det.evaluate(win) == []
+
+
+def test_queue_saturation_needs_samples_and_service_baseline():
+    det = QueueSaturationDetector(ratio=40.0, min_waits=6, patience=1)
+    # Too few queued requests to judge.
+    assert det.evaluate(_queued(_win(0), waits=3)) == []
+    # No ordering service observed (no denominator) -> quiet.
+    assert det.evaluate(_queued(_win(1), services=0, service_mean=0.0)) == []
 
 
 def test_default_catalogue_quiet_on_healthy_window():

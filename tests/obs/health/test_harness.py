@@ -102,6 +102,25 @@ def test_cli_rejects_unknown_scenario(capsys):
         health_main(["--scenarios", "nope"])
 
 
+def test_queue_saturation_diagnosed_on_starved_pipeline():
+    # Depth-1 pipeline, tiny batches, long batch_wait, write-heavy load:
+    # arrivals outrun the drain rate, so leader queue waits dwarf the
+    # ordering service time and the wait/service detector must fire.
+    from repro.hybster.config import BatchConfig
+    from repro.obs.__main__ import run_workload
+
+    cfg = BatchConfig(max_batch=2, batch_wait=0.004, pipeline_depth=1)
+    plane = HealthPlane(window=0.05)
+    plane, _ = run_workload(
+        n_clients=24, write_ratio=1.0, duration=0.2, batching=cfg,
+        plane=plane,
+    )
+    sat = [e for e in plane.events if e.kind == "queue_saturation"]
+    assert sat, [e.kind for e in plane.events]
+    assert sat[0].node == "replica-0"  # the leader's queue, nobody else's
+    assert sat[0].detail["wait_service_ratio"] >= 40.0
+
+
 def test_final_partial_window_is_evaluated():
     # A window larger than the horizon still gets judged once at finalize.
     plane, _ = _judged("healthy_control", window=1e6)
