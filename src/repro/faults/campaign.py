@@ -20,6 +20,15 @@ from ..bench.clusters import build_troxy
 from ..shard import build_sharded, resolve_shards
 from ..sim.rng import RngTree
 from .injector import FaultPlane
+from .model import (
+    Fault,
+    HostTamper,
+    MessageCorrupt,
+    MessageLoss,
+    NetworkPartition,
+    ReplicaCrash,
+    WriteContentionAttack,
+)
 from .invariants import (
     check_cache_freshness,
     check_counter_monotonicity,
@@ -54,6 +63,48 @@ def _workload_driver(env, client, spec: WorkloadSpec, rng, state: DriverState):
         if spec.think_time:
             yield env.timeout(spec.think_time)
     state.done = True
+
+
+def fault_ground_truth(fault: Fault, plane: FaultPlane) -> dict | None:
+    """Structured blame target of one injected fault.
+
+    This is the audit plane's ground truth (docs/OBSERVABILITY.md,
+    "Accountability & audit"): for each fault that leaves attributable
+    evidence, say *who* a correct auditor must blame. ``required`` marks
+    faults the auditor is expected to localize; link-level entries are
+    permissive — they whitelist link suspicion without demanding it
+    (omission evidence cannot distinguish a quiet link from a lossy
+    one). Faults whose wire rules never fired, and benign faults
+    (delay, reboot, restart, migration), have no ground truth.
+    """
+    if isinstance(fault, ReplicaCrash):
+        return {"blame": "node", "targets": [fault.replica], "required": True}
+    if isinstance(fault, HostTamper):
+        if plane.rule_hits(fault) == 0:
+            return None
+        return {"blame": "tamper", "targets": [fault.replica], "required": True}
+    if isinstance(fault, MessageCorrupt):
+        if plane.rule_hits(fault) == 0:
+            return None
+        return {"blame": "tamper", "src": fault.src, "required": True}
+    if isinstance(fault, MessageLoss):
+        if plane.rule_hits(fault) == 0:
+            return None
+        return {
+            "blame": "link", "src": fault.src, "dst": fault.dst,
+            "required": False,
+        }
+    if isinstance(fault, NetworkPartition):
+        pairs = sorted(
+            sorted((a, b)) for a, b in plane._cross_group_pairs(fault.groups)
+        )
+        return {"blame": "link", "pairs": pairs, "required": False}
+    if isinstance(fault, WriteContentionAttack):
+        clients = sorted(s.client_id for s in plane.attacks.get(fault, ()))
+        if not clients:
+            return None
+        return {"blame": "client", "targets": clients, "required": True}
+    return None
 
 
 def run_scenario(
@@ -174,9 +225,15 @@ def run_scenario(
             c.monitor.stats.switches_to_total_order for c in cluster.cores
         ),
         "enclave_reboots": sum(h.enclave.stats.reboots for h in cluster.hosts),
-        "tampered_or_dropped": sum(rule.hits for rule in plane.rules)
-        + sum(plane._retired_hits.values()),
     }
+    # Per-kind wire-rule hits: delayed messages arrive late and tapped
+    # ones are merely observed, so only tamper/loss/corrupt hits count
+    # as actually harmed traffic.
+    wire_hits = plane.wire_hit_counts()
+    stats["wire_hits"] = wire_hits
+    stats["tampered_or_dropped"] = (
+        wire_hits["tampered"] + wire_hits["dropped"] + wire_hits["corrupted"]
+    )
     router = getattr(cluster, "router", None)
     if router is not None:
         stats["shard_forwards"] = router.stats.forwards
@@ -187,20 +244,22 @@ def run_scenario(
         stats["migrated_keys"] = sum(r.moved_keys for r in migration_reports)
 
     # First-class injection timeline: one record per injected fault with
-    # its sim-time activation (and, when healed, deactivation) timestamp.
+    # its sim-time activation (and, when healed, deactivation) timestamp
+    # plus the audit ground truth derived from the fault object.
     injections: list[dict] = []
     pending: dict[str, list[dict]] = {}
-    for entry in plane.log:
-        if entry["event"] == "inject":
+    for event, t, fault in plane.fault_timeline:
+        if event == "inject":
             record = {
-                "fault": entry["fault"], "t": entry["t"], "healed_t": None,
+                "fault": fault.describe(), "t": t, "healed_t": None,
+                "ground_truth": fault_ground_truth(fault, plane),
             }
             injections.append(record)
-            pending.setdefault(entry["fault"], []).append(record)
-        elif entry["event"] == "heal":
-            live = pending.get(entry["fault"])
+            pending.setdefault(record["fault"], []).append(record)
+        elif event == "heal":
+            live = pending.get(fault.describe())
             if live:
-                live.pop(0)["healed_t"] = entry["t"]
+                live.pop(0)["healed_t"] = t
 
     ok = all(r.ok for r in invariants)
     if registry is not None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
+from collections import deque
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 from typing import Optional
@@ -48,6 +49,18 @@ class Garbage:
     wire_size: int
 
 
+#: Stat name each wire-rule kind reports its hits under (campaign
+#: ``wire_hits``): delayed messages were delivered late, tapped ones
+#: were merely observed — neither is a drop or a forgery.
+WIRE_HIT_STATS = {
+    "delay": "delayed",
+    "loss": "dropped",
+    "corrupt": "corrupted",
+    "tamper": "tampered",
+    "tap": "tapped",
+}
+
+
 @dataclass
 class WireRule:
     """One active rule on the network send path."""
@@ -63,7 +76,12 @@ class WireRule:
     remaining: Optional[int] = None  # tamper budget; None = unlimited
     origin: Optional[Fault] = None  # fault that installed the rule
     hits: int = 0
-    captured: list = field(default_factory=list)
+    #: Ring buffer of the last ``capture_limit`` payloads a tap saw;
+    #: older captures are evicted and counted in ``capture_overflow``
+    #: so long chaos runs cannot hold every message alive.
+    captured: deque = field(default_factory=deque)
+    capture_limit: int = 256
+    capture_overflow: int = 0
 
     def matches(self, attempt: SendAttempt) -> bool:
         if not fnmatchcase(attempt.src, self.src):
@@ -106,6 +124,11 @@ class FaultPlane:
         self.ecall_counts: dict[str, int] = {}
         self.attacks: dict[Fault, list[AttackState]] = {}
         self._retired_hits: dict[Fault, int] = {}
+        self._retired_kind_hits: dict[str, int] = {}
+        #: (event, t, fault) triples mirroring :attr:`log` but keeping
+        #: the fault *objects* — ground-truth plumbing for the audit
+        #: plane (campaign blame scoring needs more than describe()).
+        self.fault_timeline: list[tuple[str, float, Fault]] = []
         self._filter_installed = False
         for host in getattr(cluster, "hosts", ()) or ():
             host.enclave.ecall_taps.append(self._ecall_tap(host.replica_id))
@@ -156,6 +179,7 @@ class FaultPlane:
 
     def _note(self, kind: str, fault: Fault) -> None:
         self.log.append({"t": self.env.now, "event": kind, "fault": fault.describe()})
+        self.fault_timeline.append((kind, self.env.now, fault))
 
     # -- crash / restart -------------------------------------------------------
 
@@ -252,6 +276,9 @@ class FaultPlane:
         for rule in self.rules:
             if rule.origin == fault:
                 self._retired_hits[fault] = self._retired_hits.get(fault, 0) + rule.hits
+                self._retired_kind_hits[rule.kind] = (
+                    self._retired_kind_hits.get(rule.kind, 0) + rule.hits
+                )
         self.rules = [rule for rule in self.rules if rule.origin != fault]
 
     def remove_rule(self, rule: WireRule) -> None:
@@ -262,12 +289,24 @@ class FaultPlane:
         active = sum(rule.hits for rule in self.rules if rule.origin == fault)
         return active + self._retired_hits.get(fault, 0)
 
+    def wire_hit_counts(self) -> dict[str, int]:
+        """Per-kind wire-rule hit totals, active rules plus healed ones."""
+        counts = {stat: 0 for stat in WIRE_HIT_STATS.values()}
+        for rule in self.rules:
+            counts[WIRE_HIT_STATS[rule.kind]] += rule.hits
+        for kind, hits in self._retired_kind_hits.items():
+            counts[WIRE_HIT_STATS[kind]] += hits
+        return counts
+
     def _filter(self, attempt: SendAttempt) -> None:
         for rule in self.rules:
             if attempt.drop or not rule.matches(attempt):
                 continue
             if rule.kind == "tap":
                 rule.hits += 1
+                if len(rule.captured) >= rule.capture_limit:
+                    rule.captured.popleft()
+                    rule.capture_overflow += 1
                 rule.captured.append(attempt.payload)
             elif rule.kind == "delay":
                 rule.hits += 1

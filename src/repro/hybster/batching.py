@@ -77,8 +77,12 @@ class BatchAssembler:
             return config.max_batch
         if not self._ewma_gap or self._ewma_gap <= 0:
             return config.min_batch
-        expected = int(config.batch_wait / self._ewma_gap)
-        return min(config.max_batch, max(config.min_batch, expected))
+        # A denormally small gap makes the ratio overflow int(); any
+        # ratio beyond max_batch clamps there anyway.
+        expected = config.batch_wait / self._ewma_gap
+        if expected >= config.max_batch:
+            return config.max_batch
+        return max(config.min_batch, int(expected))
 
     def flush_reason(self, now: float, inflight: int) -> Optional[str]:
         """Why a batch should be cut right now, or None to keep waiting.

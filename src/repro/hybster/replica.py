@@ -28,7 +28,12 @@ from ..crypto.costs import RuntimeProfile, profile as cost_profile
 from ..crypto.keys import KeyRing
 from ..crypto.primitives import DIGEST_SIZE, digest_of
 from ..crypto.tls import TlsEndpoint, TlsError
-from ..sgx.counters import CounterCertificate, CounterError, TrustedCounterSubsystem
+from ..sgx.counters import (
+    CounterCertificate,
+    CounterError,
+    TrustedCounterSubsystem,
+    certify_ledger_checkpoint,
+)
 from ..sgx.enclave import Enclave
 from ..sim.engine import Environment, Process
 from ..sim.network import Network, Node
@@ -202,6 +207,10 @@ class Replica:
         # crossings); each certify pays the crossing plus one MAC.
         for ecall_name in ("certify_order", "certify_commit", "certify_viewchange"):
             trusted_boundary.register_ecall(ecall_name, self._trusted_certify)
+        # Audit-ledger checkpoints (repro.obs.audit) cross the same
+        # trusted boundary; the sealed audit-ledger counter fences
+        # checkpoint numbers so a rewound ledger cannot be re-certified.
+        trusted_boundary.register_ecall("certify_ledger", self._certify_ledger)
 
         self._owns_inbox = owns_inbox
         self._loop_generation = 0
@@ -253,6 +262,11 @@ class Replica:
         """Trusted-side body of the certify ecalls."""
         yield from self.node.compute(self._mac_cost_const)
         return self.counters.certify_at(counter, value, digest)
+
+    def _certify_ledger(self, seq: int, head: bytes):
+        """Trusted-side body of the certify_ledger ecall."""
+        yield from self.node.compute(self._mac_cost_const)
+        return certify_ledger_checkpoint(self.counters, seq, head)
 
     # -- secure client channels (baseline deployment) ----------------------------
 

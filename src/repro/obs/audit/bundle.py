@@ -1,0 +1,66 @@
+"""Signed, offline-verifiable evidence bundles.
+
+A bundle packages the verdicts together with every ledger that supports
+them, canonically JSON-encoded and HMAC-signed under the troxy group
+key. :func:`verify_bundle` re-checks everything *without the cluster*:
+the signature, every hash chain, every sealed-counter checkpoint, and
+every embedded protocol certificate — the group key is derivable from
+the deployment's master secret alone (:class:`repro.crypto.keys.KeyRing`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from ...crypto.primitives import MacKey
+from .auditor import Verdict
+from .ledger import verify_ledger_dict
+
+SIGNING_CONTEXT = b"repro.obs.audit/bundle|"
+
+
+def canonical_json(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def build_bundle(
+    ledgers: dict, verdicts: list[Verdict], triggers: list[dict],
+    meta: Optional[dict] = None, key: Optional[MacKey] = None,
+) -> dict:
+    """Assemble (and, with ``key``, sign) an evidence bundle."""
+    payload = {
+        "tool": "repro.obs.audit",
+        "meta": meta or {},
+        "triggers": triggers,
+        "verdicts": [v.as_dict() for v in verdicts],
+        "ledgers": {node: ledgers[node].as_dict() for node in sorted(ledgers)},
+    }
+    signature = b""
+    if key is not None:
+        signature = key.sign(SIGNING_CONTEXT + canonical_json(payload).encode())
+    return {"payload": payload, "signature": signature.hex()}
+
+
+@dataclass(frozen=True)
+class BundleCheck:
+    """Outcome of an offline bundle verification."""
+
+    ok: bool
+    problems: tuple[str, ...]
+
+
+def verify_bundle(bundle: dict, key: Optional[MacKey] = None) -> BundleCheck:
+    """Re-check a bundle's signature, chains, and certificates offline."""
+    problems: list[str] = []
+    payload = bundle.get("payload")
+    if not isinstance(payload, dict):
+        return BundleCheck(ok=False, problems=("bundle has no payload",))
+    if key is not None:
+        expected = SIGNING_CONTEXT + canonical_json(payload).encode()
+        if not key.verify(expected, bytes.fromhex(bundle.get("signature", ""))):
+            problems.append("bundle signature invalid")
+    for node in sorted(payload.get("ledgers", {})):
+        problems.extend(verify_ledger_dict(payload["ledgers"][node], key=key))
+    return BundleCheck(ok=not problems, problems=tuple(problems))

@@ -1,0 +1,240 @@
+"""Per-node tamper-evident message ledgers.
+
+Each node appends one :class:`LedgerEntry` per protocol message it
+sends or receives. Entries are hash-chained — every entry's hash covers
+its predecessor's — so truncating, reordering, or rewriting any prefix
+changes the chain head. Replica ledgers are periodically *checkpointed*
+through the ``certify_ledger`` ecall: the trusted subsystem binds the
+chain head to the sealed, strictly-monotonic ``audit-ledger`` counter
+(:func:`repro.sgx.counters.certify_ledger_checkpoint`), which makes the
+untrusted host unable to present two different histories for the same
+checkpoint number. :func:`verify_ledger_dict` re-checks everything
+offline from the serialized form, without the cluster.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from ...crypto.primitives import MacKey, digest_of
+from ...sgx.counters import LEDGER_COUNTER, CounterCertificate, _auth_input
+
+GENESIS_SALT = b"repro.obs.audit/genesis"
+
+
+def genesis_hash(node_id: str) -> bytes:
+    return digest_of(GENESIS_SALT, node_id.encode())
+
+
+def _ident_bytes(ident) -> bytes:
+    if ident is None:
+        return b""
+    return json.dumps(list(ident), separators=(",", ":")).encode()
+
+
+def _cert_bytes(cert) -> bytes:
+    if cert is None:
+        return b""
+    subsystem_id, counter_name, value, digest, tag = cert
+    return b"|".join(
+        [subsystem_id.encode(), counter_name.encode(),
+         value.to_bytes(8, "big"), digest, tag]
+    )
+
+
+def entry_hash(
+    prev_hash: bytes, index: int, t: float, direction: str, peer: str,
+    kind: str, digest: bytes, ident, cert,
+) -> bytes:
+    """Chain hash of one entry; covers the predecessor and every field.
+
+    ``repr(t)`` is exact for floats, so the encoding is canonical and
+    any single-field mutation — including the embedded counter
+    certificate — breaks the chain from this entry onward.
+    """
+    return digest_of(
+        prev_hash,
+        index.to_bytes(8, "big"),
+        repr(t).encode(),
+        direction.encode(),
+        peer.encode(),
+        kind.encode(),
+        digest,
+        _ident_bytes(ident),
+        _cert_bytes(cert),
+    )
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One sent or received protocol message, chained to its predecessor."""
+
+    index: int
+    t: float
+    direction: str  # "send" | "recv"
+    peer: str
+    kind: str  # payload type, e.g. "Order" or "SecureEnvelope:Reply"
+    digest: bytes  # content digest (pre-wire for sends, as-delivered for recvs)
+    ident: Optional[tuple]  # protocol identity, e.g. ("reply", client, rid)
+    cert: Optional[tuple]  # embedded CounterCertificate fields, if any
+    prev_hash: bytes
+    hash: bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "i": self.index,
+            "t": self.t,
+            "dir": self.direction,
+            "peer": self.peer,
+            "kind": self.kind,
+            "digest": self.digest.hex(),
+            "ident": None if self.ident is None else list(self.ident),
+            "cert": None if self.cert is None else [
+                self.cert[0], self.cert[1], self.cert[2],
+                self.cert[3].hex(), self.cert[4].hex(),
+            ],
+            "hash": self.hash.hex(),
+        }
+
+
+@dataclass(frozen=True)
+class LedgerCheckpoint:
+    """A sealed-counter certificate over the chain head at ``entries``."""
+
+    seq: int  # audit-ledger counter value
+    entries: int  # number of entries the certified head covers
+    head: bytes
+    cert: CounterCertificate
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "entries": self.entries,
+            "head": self.head.hex(),
+            "cert": [
+                self.cert.subsystem_id, self.cert.counter_name,
+                self.cert.value, self.cert.digest.hex(), self.cert.tag.hex(),
+            ],
+        }
+
+
+class MessageLedger:
+    """Hash-chained send/receive ledger of one node."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self.entries: list[LedgerEntry] = []
+        self.head = genesis_hash(node_id)
+        self.checkpoints: list[LedgerCheckpoint] = []
+        #: checkpoint sequence numbers handed out (certification is
+        #: asynchronous — the ecall completes a few microseconds later).
+        self.checkpoints_requested = 0
+
+    def append(
+        self, t: float, direction: str, peer: str, kind: str,
+        digest: bytes, ident: Optional[tuple] = None,
+        cert: Optional[tuple] = None,
+    ) -> LedgerEntry:
+        index = len(self.entries)
+        prev = self.head
+        entry = LedgerEntry(
+            index=index, t=t, direction=direction, peer=peer, kind=kind,
+            digest=digest, ident=ident, cert=cert, prev_hash=prev,
+            hash=entry_hash(prev, index, t, direction, peer, kind, digest,
+                            ident, cert),
+        )
+        self.entries.append(entry)
+        self.head = entry.hash
+        return entry
+
+    def add_checkpoint(
+        self, seq: int, entries: int, head: bytes, cert: CounterCertificate
+    ) -> LedgerCheckpoint:
+        checkpoint = LedgerCheckpoint(seq=seq, entries=entries, head=head, cert=cert)
+        self.checkpoints.append(checkpoint)
+        return checkpoint
+
+    def as_dict(self) -> dict:
+        return {
+            "node": self.node_id,
+            "genesis": genesis_hash(self.node_id).hex(),
+            "head": self.head.hex(),
+            "entries": [e.as_dict() for e in self.entries],
+            "checkpoints": [c.as_dict() for c in self.checkpoints],
+        }
+
+
+def verify_ledger_dict(data: dict, key: Optional[MacKey] = None) -> list[str]:
+    """Offline integrity check of one serialized ledger.
+
+    Replays the hash chain from genesis, then checks every checkpoint:
+    heads must match the replayed chain at the certified entry count,
+    sequence numbers must be strictly increasing (sealed-counter
+    fencing), and — when the group ``key`` is given — the certificate
+    HMACs must verify. Returns a list of problems; empty means intact.
+    """
+    problems: list[str] = []
+    node = data.get("node", "?")
+    prev = genesis_hash(node)
+    if data.get("genesis") != prev.hex():
+        problems.append(f"{node}: genesis hash mismatch")
+    heads = {0: prev}
+    for n, e in enumerate(data.get("entries", []), start=1):
+        try:
+            ident = None if e["ident"] is None else tuple(e["ident"])
+            cert = None
+            if e["cert"] is not None:
+                c = e["cert"]
+                cert = (c[0], c[1], c[2], bytes.fromhex(c[3]), bytes.fromhex(c[4]))
+            recomputed = entry_hash(
+                prev, e["i"], e["t"], e["dir"], e["peer"], e["kind"],
+                bytes.fromhex(e["digest"]), ident, cert,
+            )
+        except (KeyError, TypeError, ValueError, AttributeError, IndexError) as exc:
+            problems.append(f"{node}: entry {n - 1} malformed ({exc})")
+            return problems
+        if recomputed.hex() != e["hash"]:
+            problems.append(f"{node}: chain broken at entry {e['i']}")
+            return problems
+        if cert is not None and key is not None:
+            if not key.verify(_auth_input(cert[0], cert[1], cert[2], cert[3]), cert[4]):
+                problems.append(
+                    f"{node}: entry {e['i']} embeds an unverifiable certificate"
+                )
+        prev = recomputed
+        heads[n] = prev
+    if data.get("head") != prev.hex():
+        problems.append(f"{node}: declared head does not match replayed chain")
+    last_seq = 0
+    for c in data.get("checkpoints", []):
+        if c["seq"] <= last_seq:
+            problems.append(
+                f"{node}: checkpoint seq {c['seq']} not above {last_seq} "
+                "(sealed-counter fencing violated)"
+            )
+        last_seq = max(last_seq, c["seq"])
+        expected = heads.get(c["entries"])
+        if expected is None or expected.hex() != c["head"]:
+            problems.append(
+                f"{node}: checkpoint {c['seq']} head does not match chain "
+                f"at entry {c['entries']}"
+            )
+        sub, name, value, digest_hex, tag_hex = c["cert"]
+        if name != LEDGER_COUNTER:
+            problems.append(
+                f"{node}: checkpoint {c['seq']} certified under {name!r}, "
+                f"not {LEDGER_COUNTER!r}"
+            )
+        if value != c["seq"] or digest_hex != c["head"]:
+            problems.append(
+                f"{node}: checkpoint {c['seq']} certificate binds the wrong "
+                "value or head"
+            )
+        if key is not None and not key.verify(
+            _auth_input(sub, name, value, bytes.fromhex(digest_hex)),
+            bytes.fromhex(tag_hex),
+        ):
+            problems.append(f"{node}: checkpoint {c['seq']} certificate HMAC invalid")
+    return problems

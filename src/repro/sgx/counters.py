@@ -67,6 +67,9 @@ class TrustedCounterSubsystem:
         self._counters[counter_name] = 0
         self._persist()
 
+    def exists(self, counter_name: str) -> bool:
+        return counter_name in self._counters
+
     def snapshot(self) -> dict[str, int]:
         """Current value of every counter.
 
@@ -140,3 +143,24 @@ def _decode_counters(blob: bytes) -> dict[str, int]:
 
 
 CERTIFICATE_WIRE_OVERHEAD = MAC_SIZE + 8  # tag + counter value
+
+#: Sealed counter backing audit-ledger checkpoints (repro.obs.audit).
+LEDGER_COUNTER = "audit-ledger"
+
+
+def certify_ledger_checkpoint(
+    subsystem: TrustedCounterSubsystem, seq: int, head: bytes
+) -> CounterCertificate:
+    """Trusted-side body of the ``certify_ledger`` ecall.
+
+    Binds checkpoint number ``seq`` to the audit ledger's chain-head
+    digest under the sealed ``audit-ledger`` counter. The counter is
+    created on first use, and every later checkpoint must certify a
+    strictly higher sequence number (TrInc fencing): the sealed value
+    survives enclave reboots, so a host that rewinds or rewrites its
+    ledger prefix can never re-certify an old checkpoint number — the
+    gap itself becomes evidence.
+    """
+    if not subsystem.exists(LEDGER_COUNTER):
+        subsystem.create(LEDGER_COUNTER)
+    return subsystem.certify_at(LEDGER_COUNTER, seq, head)

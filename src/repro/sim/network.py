@@ -264,6 +264,7 @@ class Network:
         self._links: dict[tuple[str, str], _LinkState] = {}
         self._loss_rng = self.rng_tree.derive("network", "loss")
         self._send_filters: list[Any] = []
+        self._delivery_taps: list[Any] = []
         self._latency_rngs: dict[tuple[str, str], Any] = {}
         self._msg_ids = itertools.count()
         self.messages_sent = 0
@@ -341,6 +342,21 @@ class Network:
     def remove_send_filter(self, fn) -> None:
         self._send_filters.remove(fn)
 
+    def add_delivery_tap(self, fn) -> None:
+        """Install ``fn(msg: Message) -> None`` on the delivery path.
+
+        Taps run at actual delivery time — after the receiver-crash
+        check and after FIFO reordering — so they observe exactly the
+        payloads that land in the destination inbox. Unlike send
+        filters, taps are read-only: they must not mutate the message.
+        The audit ledger (:mod:`repro.obs.audit`) records certified
+        receives here.
+        """
+        self._delivery_taps.append(fn)
+
+    def remove_delivery_tap(self, fn) -> None:
+        self._delivery_taps.remove(fn)
+
     # -- transfer ------------------------------------------------------------
 
     def _deliver(self, msg: Message, receiver: Node) -> None:
@@ -351,6 +367,9 @@ class Network:
                 self.env.now, "net.deliver", msg.dst,
                 f"{msg.src}->{msg.dst} {type(msg.payload).__name__} ({msg.size} B)",
             )
+        if self._delivery_taps:
+            for fn in tuple(self._delivery_taps):
+                fn(msg)
         receiver.inbox.put(msg)
 
     def _stream_arrived(self, msg: Message, receiver: Node) -> None:

@@ -130,6 +130,33 @@ def test_injection_timeline_recorded():
     assert quiet["injections"] == []
 
 
+def test_wire_hit_stats_split_by_kind():
+    """Regression: ``tampered_or_dropped`` once counted *every* wire-rule
+    hit, so a delay-only scenario reported phantom tampering. The stat
+    now covers only tamper + loss + corruption; delays and taps get
+    their own ``wire_hits`` buckets."""
+    delayed = run_scenario(get_scenario("message_delay_burst"), 0)
+    stats = delayed["stats"]
+    assert stats["wire_hits"]["delayed"] > 0
+    assert stats["tampered_or_dropped"] == 0
+
+    tampered = run_scenario(get_scenario("host_tamper_replies"), 1)
+    hits = tampered["stats"]["wire_hits"]
+    assert hits["tampered"] > 0 and hits["delayed"] == 0
+    assert tampered["stats"]["tampered_or_dropped"] == (
+        hits["tampered"] + hits["dropped"] + hits["corrupted"]
+    )
+
+
+def test_injections_carry_ground_truth():
+    crash = run_scenario(get_scenario("troxy_crash_failover"), 1)
+    grounds = [r["ground_truth"] for r in crash["injections"]]
+    assert {"blame": "node", "targets": ["replica-1"], "required": True} in grounds
+    # Benign wire faults carry no blame assignment.
+    delayed = run_scenario(get_scenario("message_delay_burst"), 0)
+    assert all(r["ground_truth"] is None for r in delayed["injections"])
+
+
 def test_run_scenario_with_obs_plane_unperturbed():
     """Attaching an ObsPlane must not change the campaign report."""
     from repro.obs import ObsPlane

@@ -1,0 +1,164 @@
+"""Auditor verdicts over hand-built ledgers: each proof class in isolation."""
+
+from repro.crypto.primitives import MacKey, digest_of
+from repro.obs.audit.auditor import Auditor
+from repro.obs.audit.ledger import MessageLedger
+from repro.sgx.counters import _auth_input
+
+KEY = MacKey("audit-test", b"audit-test-group-key")
+REPLICAS = frozenset({"replica-0", "replica-1", "replica-2"})
+
+
+def _auditor(**kwargs):
+    return Auditor(group_key=KEY, **kwargs)
+
+
+def _cert(subsystem, counter, value, digest):
+    return (subsystem, counter, value, digest,
+            KEY.sign(_auth_input(subsystem, counter, value, digest)))
+
+
+def _exchange(ledgers, t, src, dst, kind="Order", digest=None, ident=None,
+              cert=None, deliver=True, delivered_digest=None):
+    """One message: a send entry on src, optionally a recv entry on dst."""
+    digest = digest if digest is not None else digest_of(repr((src, dst, t)).encode())
+    ledgers.setdefault(src, MessageLedger(src)).append(
+        t, "send", dst, kind, digest, ident, cert)
+    if deliver:
+        ledgers.setdefault(dst, MessageLedger(dst)).append(
+            t + 0.0001, "recv", src, kind,
+            delivered_digest if delivered_digest is not None else digest,
+            ident, cert)
+    return digest
+
+
+def test_clean_exchange_yields_no_verdicts():
+    ledgers = {}
+    for i in range(10):
+        _exchange(ledgers, i * 0.01, "replica-0", "replica-1")
+        _exchange(ledgers, i * 0.01, "replica-1", "replica-0")
+    assert _auditor().reconcile(ledgers, end_t=1.0, replica_ids=REPLICAS) == []
+
+
+def test_tamper_pins_the_diverging_sender():
+    ledgers = {}
+    _exchange(ledgers, 0.01, "replica-0", "client-machine-0",
+              kind="SecureEnvelope:Reply", ident=("reply", "client-0", 1))
+    _exchange(ledgers, 0.02, "replica-0", "client-machine-0",
+              kind="SecureEnvelope:Reply", ident=("reply", "client-0", 2),
+              delivered_digest=b"\xee" * 32)
+    verdicts = _auditor().reconcile(ledgers, end_t=1.0, replica_ids=REPLICAS)
+    assert [v.kind for v in verdicts] == ["tamper"]
+    assert verdicts[0].culprits == ("replica-0",)
+    assert verdicts[0].proof["mismatches"][0]["ident"] == ["reply", "client-0", 2]
+
+
+def test_equivocation_needs_two_verified_certs_same_slot():
+    ledgers = {}
+    # replica-0 certifies two different order digests under the same
+    # counter value — impossible for honest trusted hardware.
+    d1, d2 = b"\x01" * 32, b"\x02" * 32
+    _exchange(ledgers, 0.01, "replica-0", "replica-1", digest=d1,
+              ident=("order", 0, 5), cert=_cert("tss-replica-0", "order/0", 5, d1))
+    _exchange(ledgers, 0.02, "replica-0", "replica-2", digest=d2,
+              ident=("order", 0, 5), cert=_cert("tss-replica-0", "order/0", 5, d2))
+    verdicts = _auditor().reconcile(ledgers, end_t=1.0, replica_ids=REPLICAS)
+    kinds = [v.kind for v in verdicts]
+    assert "equivocation" in kinds
+    equivocation = verdicts[kinds.index("equivocation")]
+    assert equivocation.culprits == ("tss-replica-0",)
+    assert equivocation.proof["value"] == 5
+
+
+def test_forged_certs_do_not_frame_a_replica():
+    ledgers = {}
+    d1, d2 = b"\x01" * 32, b"\x02" * 32
+    bad = ("tss-replica-0", "order/0", 5, d2, b"\x00" * 32)  # invalid tag
+    _exchange(ledgers, 0.01, "replica-0", "replica-1", digest=d1,
+              ident=("order", 0, 5), cert=_cert("tss-replica-0", "order/0", 5, d1))
+    _exchange(ledgers, 0.02, "replica-1", "replica-2", digest=d2,
+              ident=("order", 0, 5), cert=bad)
+    verdicts = _auditor().reconcile(ledgers, end_t=1.0, replica_ids=REPLICAS)
+    assert not any(v.kind == "equivocation" for v in verdicts)
+
+
+def test_omission_blames_a_silent_replica():
+    ledgers = {}
+    # Three senders attest sends to replica-2; its ledger stays empty.
+    for t, src in ((0.10, "replica-0"), (0.11, "replica-1"),
+                   (0.12, "replica-0"), (0.13, "client-machine-0")):
+        _exchange(ledgers, t, src, "replica-2", deliver=False)
+    ledgers["replica-2"] = MessageLedger("replica-2")
+    verdicts = _auditor().reconcile(ledgers, end_t=1.0, replica_ids=REPLICAS)
+    assert [v.kind for v in verdicts] == ["omission"]
+    assert verdicts[0].culprits == ("replica-2",)
+    assert verdicts[0].proof["unreceived"] == 4
+
+
+def test_partition_hedges_to_links_when_suspect_is_active():
+    ledgers = {}
+    for t, src in ((0.10, "replica-0"), (0.11, "replica-1"),
+                   (0.12, "replica-0"), (0.13, "replica-1")):
+        _exchange(ledgers, t, src, "replica-2", deliver=False)
+    # replica-2 keeps talking to its own side of the cut.
+    _exchange(ledgers, 0.115, "client-machine-2", "replica-2")
+    verdicts = _auditor().reconcile(ledgers, end_t=1.0, replica_ids=REPLICAS)
+    assert [v.kind for v in verdicts] == ["link_omission"]
+    assert verdicts[0].culprits == (
+        "replica-0->replica-2", "replica-1->replica-2",
+    )
+
+
+def test_in_flight_tail_is_not_omission():
+    ledgers = {}
+    for t, src in ((0.90, "replica-0"), (0.91, "replica-1"),
+                   (0.92, "replica-0")):
+        _exchange(ledgers, t, src, "replica-2", deliver=False)
+    ledgers["replica-2"] = MessageLedger("replica-2")
+    # All sends are within the grace window of the audit instant.
+    verdicts = _auditor(grace=0.25).reconcile(
+        ledgers, end_t=1.0, replica_ids=REPLICAS)
+    assert verdicts == []
+
+
+def test_contention_flags_the_dominant_writer():
+    ledgers = {}
+    for rid in range(4):
+        _exchange(ledgers, 0.01 * rid, "client-machine-0", "replica-0",
+                  kind="SecureEnvelope:Request",
+                  ident=("request", "client-0", rid, "w"))
+    for rid in range(64):
+        _exchange(ledgers, 0.3 + 0.001 * rid, "client-machine-1", "replica-0",
+                  kind="SecureEnvelope:Request",
+                  ident=("request", "attacker", rid, "w"))
+    verdicts = _auditor().reconcile(ledgers, end_t=1.0, replica_ids=REPLICAS)
+    assert [v.kind for v in verdicts] == ["contention"]
+    assert verdicts[0].culprits == ("attacker",)
+    assert verdicts[0].proof["writes"]["attacker"] == 64
+
+
+def test_reads_never_count_toward_contention():
+    ledgers = {}
+    for rid in range(64):
+        _exchange(ledgers, 0.001 * rid, "client-machine-0", "replica-0",
+                  kind="SecureEnvelope:Request",
+                  ident=("request", "client-0", rid, "r"))
+    verdicts = _auditor().reconcile(ledgers, end_t=1.0, replica_ids=REPLICAS)
+    assert verdicts == []
+
+
+def test_verdicts_are_sorted_and_deterministic():
+    def build():
+        ledgers = {}
+        _exchange(ledgers, 0.02, "replica-1", "client-machine-0",
+                  kind="SecureEnvelope:Reply", ident=("reply", "client-0", 1),
+                  delivered_digest=b"\xaa" * 32)
+        for t, src in ((0.10, "replica-0"), (0.11, "replica-1"),
+                       (0.12, "client-machine-0")):
+            _exchange(ledgers, t, src, "replica-2", deliver=False)
+        ledgers.setdefault("replica-2", MessageLedger("replica-2"))
+        return _auditor().reconcile(ledgers, end_t=1.0, replica_ids=REPLICAS)
+
+    first, second = build(), build()
+    assert [v.as_dict() for v in first] == [v.as_dict() for v in second]
+    assert [v.kind for v in first] == sorted(v.kind for v in first)

@@ -1,0 +1,116 @@
+"""Hash-chained ledgers: append, checkpoint fencing, offline verify."""
+
+import pytest
+
+from repro.crypto.primitives import MacKey
+from repro.obs.audit.ledger import (
+    MessageLedger,
+    genesis_hash,
+    verify_ledger_dict,
+)
+from repro.sgx.counters import (
+    LEDGER_COUNTER,
+    CounterError,
+    TrustedCounterSubsystem,
+    certify_ledger_checkpoint,
+)
+
+KEY = MacKey("audit-test", b"audit-test-group-key")
+
+
+def _subsystem(subsystem_id="tss-replica-0"):
+    return TrustedCounterSubsystem(subsystem_id, KEY)
+
+
+def _ledger_with(n=5, node="replica-0"):
+    ledger = MessageLedger(node)
+    for i in range(n):
+        ledger.append(
+            t=i * 0.001, direction="send" if i % 2 == 0 else "recv",
+            peer=f"replica-{1 + i % 2}", kind="Order",
+            digest=bytes([i]) * 32, ident=("order", 0, i),
+        )
+    return ledger
+
+
+def test_chain_links_entries():
+    ledger = _ledger_with(3)
+    assert ledger.entries[0].prev_hash == genesis_hash("replica-0")
+    for prev, entry in zip(ledger.entries, ledger.entries[1:]):
+        assert entry.prev_hash == prev.hash
+    assert ledger.head == ledger.entries[-1].hash
+
+
+def test_certify_ledger_checkpoint_creates_and_advances():
+    tss = _subsystem()
+    cert1 = certify_ledger_checkpoint(tss, 1, b"\x01" * 32)
+    cert2 = certify_ledger_checkpoint(tss, 2, b"\x02" * 32)
+    assert cert1.counter_name == LEDGER_COUNTER
+    assert (cert1.value, cert2.value) == (1, 2)
+    assert tss.verify(cert1) and tss.verify(cert2)
+
+
+def test_certify_ledger_checkpoint_fences_rewinds():
+    tss = _subsystem()
+    certify_ledger_checkpoint(tss, 3, b"\x03" * 32)
+    # A host that rewound its ledger cannot re-certify an old (or the
+    # same) checkpoint number — sealed-counter fencing.
+    with pytest.raises(CounterError):
+        certify_ledger_checkpoint(tss, 3, b"\x04" * 32)
+    with pytest.raises(CounterError):
+        certify_ledger_checkpoint(tss, 2, b"\x05" * 32)
+
+
+def test_verify_ledger_dict_accepts_intact_ledger():
+    tss = _subsystem()
+    ledger = _ledger_with(6)
+    ledger.add_checkpoint(1, 4, ledger.entries[3].hash,
+                          certify_ledger_checkpoint(tss, 1, ledger.entries[3].hash))
+    assert verify_ledger_dict(ledger.as_dict(), key=KEY) == []
+
+
+def test_verify_ledger_dict_detects_entry_mutation():
+    ledger = _ledger_with(6)
+    data = ledger.as_dict()
+    data["entries"][2]["peer"] = "replica-9"
+    problems = verify_ledger_dict(data, key=KEY)
+    assert any("chain broken at entry 2" in p for p in problems)
+
+
+def test_verify_ledger_dict_detects_truncation():
+    ledger = _ledger_with(6)
+    data = ledger.as_dict()
+    data["entries"].pop()
+    problems = verify_ledger_dict(data, key=KEY)
+    assert any("declared head" in p for p in problems)
+
+
+def test_verify_ledger_dict_detects_checkpoint_abuse():
+    tss = _subsystem()
+    ledger = _ledger_with(6)
+    head = ledger.entries[3].hash
+    cert = certify_ledger_checkpoint(tss, 1, head)
+    ledger.add_checkpoint(1, 4, head, cert)
+    data = ledger.as_dict()
+
+    rewound = {**data, "checkpoints": [
+        data["checkpoints"][0], {**data["checkpoints"][0]},
+    ]}
+    assert any("fencing" in p for p in verify_ledger_dict(rewound, key=KEY))
+
+    wrong_head = {**data, "checkpoints": [
+        {**data["checkpoints"][0], "head": "00" * 32, "cert": [
+            cert.subsystem_id, cert.counter_name, cert.value,
+            "00" * 32, cert.tag.hex(),
+        ]},
+    ]}
+    problems = verify_ledger_dict(wrong_head, key=KEY)
+    assert any("head does not match chain" in p for p in problems)
+    assert any("HMAC invalid" in p for p in problems)
+
+
+def test_verify_ledger_dict_rejects_forged_genesis():
+    data = _ledger_with(1, node="replica-1").as_dict()
+    data["node"] = "replica-2"
+    problems = verify_ledger_dict(data, key=KEY)
+    assert any("genesis" in p for p in problems)

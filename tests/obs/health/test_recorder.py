@@ -86,6 +86,44 @@ def test_write_bundle_layout_and_determinism(tmp_path):
         assert p1.read_bytes() == p2.read_bytes()
 
 
+def test_default_max_bundles_cap_is_twelve():
+    fr = FlightRecorder(capacity=2)
+    captured = [fr.capture(0.1 * i, [_event(t=0.1 * i)]) for i in range(20)]
+    assert sum(bundle is not None for bundle in captured) == 12
+    assert all(bundle is None for bundle in captured[12:])
+    assert len(fr.bundles) == 12
+    assert fr.dropped_bundles == 8
+
+
+def test_recent_span_ids_order_survives_ring_wraparound():
+    fr = FlightRecorder(capacity=4)
+    spans = _spans(11)  # ring wraps nearly three times
+    for span in spans:
+        fr.record(span)
+    expected = tuple(s.span_id for s in spans[-4:])
+    assert fr.recent_span_ids("r0", k=4) == expected
+    # k larger than the ring just returns the whole (ordered) tail.
+    assert fr.recent_span_ids("r0", k=99) == expected
+    assert fr.recent_span_ids("r0", k=2) == expected[2:]
+
+
+def test_write_filenames_deterministic_across_runs(tmp_path):
+    def build(out):
+        fr = FlightRecorder(capacity=4, max_bundles=3)
+        for span in _spans(6):
+            fr.record(span)
+        fr.capture(0.25, [_event(t=0.25)])
+        fr.capture(0.50, [_event(kind="stall", t=0.5), _event(kind="stall", t=0.5)])
+        return fr.write(out)
+
+    dirs1 = build(tmp_path / "run1")
+    dirs2 = build(tmp_path / "run2")
+    assert [d.name for d in dirs1] == [d.name for d in dirs2] == [
+        "bundle-000-replica_divergence",
+        "bundle-001-stall",
+    ]
+
+
 def test_health_event_as_dict_roundtrip():
     event = _event()
     data = event.as_dict()

@@ -1,0 +1,96 @@
+"""Property-based tests for audit ledger chain integrity.
+
+The acceptance bar for the accountability ledgers: *any* single-entry
+mutation — of any serialised field, at any position — must be caught by
+the offline verifier, as must truncation, reordering, and checkpoint
+rewinds.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primitives import MacKey
+from repro.obs.audit.ledger import MessageLedger, verify_ledger_dict
+from repro.sgx.counters import TrustedCounterSubsystem, certify_ledger_checkpoint
+
+KEY = MacKey("audit-prop", b"audit-prop-group-key")
+
+entries = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.sampled_from(["send", "recv"]),
+        st.sampled_from(["replica-0", "replica-1", "client-machine-0"]),
+        st.sampled_from(["Order", "Commit", "SecureEnvelope:Reply"]),
+        st.binary(min_size=32, max_size=32),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_ledger(rows, checkpoint_every=0):
+    ledger = MessageLedger("replica-0")
+    tss = TrustedCounterSubsystem("tss-replica-0", KEY)
+    for i, (t, direction, peer, kind, digest) in enumerate(rows):
+        ledger.append(t, direction, peer, kind, digest, ident=("order", 0, i))
+        if checkpoint_every and len(ledger.entries) % checkpoint_every == 0:
+            seq = len(ledger.checkpoints) + 1
+            cert = certify_ledger_checkpoint(tss, seq, ledger.head)
+            ledger.add_checkpoint(seq, len(ledger.entries), ledger.head, cert)
+    return ledger
+
+
+@given(rows=entries)
+@settings(max_examples=60, deadline=None)
+def test_intact_ledger_always_verifies(rows):
+    ledger = build_ledger(rows, checkpoint_every=3)
+    assert verify_ledger_dict(ledger.as_dict(), key=KEY) == []
+    # Round-tripping through JSON (as bundles do) must not break it.
+    data = json.loads(json.dumps(ledger.as_dict()))
+    assert verify_ledger_dict(data, key=KEY) == []
+
+
+@given(rows=entries, data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_any_single_entry_mutation_is_detected(rows, data):
+    ledger = build_ledger(rows)
+    dump = ledger.as_dict()
+    index = data.draw(st.integers(min_value=0, max_value=len(rows) - 1))
+    entry = dump["entries"][index]
+    field = data.draw(st.sampled_from(sorted(entry)))
+    original = entry[field]
+    if field == "i":
+        entry[field] = original + 1
+    elif field == "t":
+        entry[field] = original + 1.0
+    elif field in ("digest", "hash"):
+        entry[field] = ("00" * 32 if original != "00" * 32 else "11" * 32)
+    elif field == "ident":
+        entry[field] = ["order", 0, len(rows) + 7]
+    elif field == "cert":
+        entry[field] = ["tss-forged", "order/0", 1, "00" * 32, "00" * 32]
+    else:  # dir / peer / kind — string fields
+        entry[field] = original + "-forged"
+    assert verify_ledger_dict(dump, key=KEY) != []
+
+
+@given(rows=entries)
+@settings(max_examples=60, deadline=None)
+def test_truncation_and_reordering_are_detected(rows):
+    ledger = build_ledger(rows)
+    truncated = ledger.as_dict()
+    truncated["entries"].pop()
+    assert verify_ledger_dict(truncated, key=KEY) != []
+    if len(rows) >= 2:
+        swapped = ledger.as_dict()
+        swapped["entries"][0], swapped["entries"][-1] = (
+            swapped["entries"][-1], swapped["entries"][0],
+        )
+        assert verify_ledger_dict(swapped, key=KEY) != []
+
+
+def test_empty_ledger_verifies():
+    ledger = MessageLedger("replica-0")
+    assert verify_ledger_dict(ledger.as_dict(), key=KEY) == []
