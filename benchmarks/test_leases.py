@@ -1,0 +1,82 @@
+"""Lease reads: the tracked voted-vs-leased latency comparison.
+
+One fig8/fig9-style read-only cell (1 KB replies) at LAN and WAN, run
+with the fast-read probe path (``etroxy``) and with leases enabled
+(``lease``); see ``docs/READS.md``. The assertions pin the acceptance
+properties of the lease work:
+
+* on the LAN, serving under a lease removes the per-read f+1 probe
+  round: read p50 drops below the voted path's and throughput rises —
+  the LAN lease p50 *is* the local-serve latency (decrypt, cache
+  lookup, seal; no quorum round);
+* on the WAN, the lease read p50 lands on the WAN round trip plus that
+  local-serve latency — the entire server-side quorum contribution is
+  gone from the p50;
+* the lease path genuinely served (grants installed, lease hits
+  recorded) — the numbers are not the probe path wearing a new label.
+"""
+
+from repro.bench.experiments import lease_reads
+from repro.bench.report import save_and_print
+
+#: The fig9 WAN client link: 100 +/- 20 ms each way, so the round-trip
+#: p50 contributes ~200 ms that no server-side change can remove.
+WAN_RTT_P50 = 0.200
+
+
+def _by_cell(points):
+    return {(p.figure, p.system): p for p in points}
+
+
+def test_lease_read_latency(run_once):
+    points = run_once(lease_reads)
+    title = "Leased vs voted reads — fig8/fig9 read-only workload, 1 KB replies"
+    header = (
+        f"{'network':<12} {'system':<8} {'p50':>11} {'p95':>11} "
+        f"{'throughput':>12} {'lease hits':>11}"
+    )
+    save_and_print(
+        "leases",
+        "\n".join(
+            [title, "=" * len(title), header, "-" * len(header)]
+            + [
+                f"{p.figure:<12} {p.system:<8} "
+                f"{p.summary.p50 * 1e3:8.3f} ms {p.summary.p95 * 1e3:8.3f} ms "
+                f"{p.throughput:7.0f} op/s {p.extra['lease_read_hits']:>11}"
+                for p in points
+            ]
+        ),
+    )
+    cells = _by_cell(points)
+    lan_voted = cells[("lease-local", "etroxy")]
+    lan_lease = cells[("lease-local", "lease")]
+    wan_voted = cells[("lease-wan", "etroxy")]
+    wan_lease = cells[("lease-wan", "lease")]
+
+    # The lease path really ran in both cells.
+    assert lan_lease.extra["lease_read_hits"] > 0
+    assert wan_lease.extra["lease_read_hits"] > 0
+    assert lan_lease.extra["grants_installed"] > 0
+    # ...and the voted reference never touched it.
+    assert lan_voted.extra["lease_read_hits"] == 0
+    assert wan_voted.extra["lease_read_hits"] == 0
+
+    # LAN: removing the probe round must show up directly — lower read
+    # p50 and higher read throughput than the voted path.
+    assert lan_lease.summary.p50 <= lan_voted.summary.p50, (
+        f"lease p50 {lan_lease.summary.p50 * 1e6:.1f} us above voted "
+        f"{lan_voted.summary.p50 * 1e6:.1f} us"
+    )
+    assert lan_lease.throughput > lan_voted.throughput
+
+    # WAN: the lease read p50 drops to the WAN round trip plus the
+    # local-serve latency (the LAN lease p50). Allow 10% of local-serve
+    # as slack for queueing; the quorum round's contribution must not
+    # survive in the p50.
+    local_serve = lan_lease.summary.p50
+    assert wan_lease.summary.p50 <= WAN_RTT_P50 + local_serve * 1.1, (
+        f"WAN lease p50 {wan_lease.summary.p50 * 1e3:.3f} ms above "
+        f"RTT + local-serve floor {(WAN_RTT_P50 + local_serve) * 1e3:.3f} ms"
+    )
+    # And it never regresses against the voted WAN path.
+    assert wan_lease.summary.p50 <= wan_voted.summary.p50 * 1.01

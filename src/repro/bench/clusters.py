@@ -22,11 +22,12 @@ from typing import Callable, Optional, Union
 from ..apps.base import Application
 from ..crypto.keys import KeyRing
 from ..hybster.client import BftClient, ClientMachine
-from ..hybster.config import BatchConfig, ClusterConfig
+from ..hybster.config import BatchConfig, ClusterConfig, LeaseConfig
 from ..hybster.replica import Replica
 from ..troxy.cache import FastReadCache
 from ..troxy.core import TroxyCore
 from ..troxy.host import TroxyHost
+from ..troxy.lease import LeaseDirectory, LeaseManager
 from ..troxy.monitor import ConflictMonitor
 from ..workloads.legacy import LegacyClient
 from ..baselines.prophecy import ProphecyMiddlebox
@@ -65,6 +66,11 @@ MASTER_SECRET = b"troxy-repro-master-secret-0001"
 #: caller passes neither ``batching`` nor an explicit ``config`` — tests
 #: that pin a ClusterConfig stay insensitive to the CI batching matrix.
 BATCHING_ENV = "REPRO_BATCHING"
+
+#: Environment default for lease-based fast reads (docs/READS.md):
+#: "off", "on", or a float lease duration in seconds. Only consulted
+#: when the caller passes neither ``leases`` nor an explicit ``config``.
+LEASES_ENV = "REPRO_LEASES"
 
 
 def resolve_batching(batching: Union[BatchConfig, int, str, None]) -> BatchConfig:
@@ -108,6 +114,49 @@ def _apply_batching(
     if env_default:
         return ClusterConfig(f=f, batching=resolve_batching(env_default))
     return ClusterConfig(f=f)
+
+
+def resolve_leases(leases: Union[LeaseConfig, bool, float, str, None]) -> LeaseConfig:
+    """Turn a lease knob into a :class:`LeaseConfig`.
+
+    Accepts a LeaseConfig (returned as-is), a bool, a float lease
+    duration in seconds, or the strings "off"/"on"/a float literal as
+    they arrive from CLIs and the environment.
+    """
+    if leases is None:
+        return LeaseConfig()
+    if isinstance(leases, LeaseConfig):
+        return leases
+    if isinstance(leases, bool):
+        return LeaseConfig.on() if leases else LeaseConfig()
+    if isinstance(leases, str):
+        text = leases.strip().lower()
+        if text in ("", "off", "none", "0", "false"):
+            return LeaseConfig()
+        if text in ("on", "1", "true"):
+            return LeaseConfig.on()
+        return LeaseConfig.on(duration=float(text))
+    return LeaseConfig.on(duration=float(leases))
+
+
+def _apply_leases(
+    config: ClusterConfig,
+    leases: Union[LeaseConfig, bool, float, str, None],
+    explicit_config: bool,
+) -> ClusterConfig:
+    """Builder-side lease resolution (explicit arg > config > env).
+
+    Mirrors :func:`_apply_batching`: tests that pin a ClusterConfig stay
+    insensitive to the CI lease matrix.
+    """
+    if leases is not None:
+        return replace(config, leases=resolve_leases(leases))
+    if explicit_config:
+        return config
+    env_default = os.environ.get(LEASES_ENV)
+    if env_default:
+        return replace(config, leases=resolve_leases(env_default))
+    return config
 
 
 @dataclass
@@ -360,6 +409,20 @@ def _build_troxy_replica(
     provisioned = provision_keys(
         attestation, replica_id, troxy_enclave, troxy_enclave.measurement, keyring
     )
+    lease_counters = None
+    if config.leases.enabled:
+        # The lease fence lives in the *Troxy* enclave (the tss counters
+        # belong to Hybster's subsystem): its own sealed monotonic
+        # counter survives enclave reboots, which is what stops a
+        # rolled-back Troxy from re-installing an already-revoked lease.
+        lease_counters = TrustedCounterSubsystem(
+            f"troxy-{replica_id}",
+            provisioned.troxy_group(),
+            storage=SealedStorage(
+                MASTER_SECRET + replica_id.encode() + b"/troxy-lease",
+                troxy_enclave.measurement,
+            ),
+        )
     core = TroxyCore(
         node=node,
         enclave=troxy_enclave,
@@ -375,7 +438,16 @@ def _build_troxy_replica(
         monitor=monitor_factory() if monitor_factory else ConflictMonitor(),
         keys_fn=keys_fn,
         router=router,
+        counters=lease_counters,
     )
+    if config.leases.enabled:
+        # Leader-side lease state (any replica may lead after a view
+        # change, so every replica carries a manager + directory mirror).
+        replica.lease_manager = LeaseManager(
+            replica_id, keyring.troxy_instance(replica_id), config.leases
+        )
+        replica.lease_directory = LeaseDirectory()
+        replica.lease_keys_fn = keys_fn or (lambda op: (op.key,))
     host = TroxyHost(
         env=env,
         net=net,
@@ -400,6 +472,7 @@ def build_troxy(
     replica_cores: int = 8,
     config: Optional[ClusterConfig] = None,
     batching: Union[BatchConfig, int, str, None] = None,
+    leases: Union[LeaseConfig, bool, float, str, None] = None,
     monitor_factory: Callable[[], ConflictMonitor] = None,
     cache_entries: int = 65536,
     cache_outside: bool = True,
@@ -417,7 +490,9 @@ def build_troxy(
         raise ValueError("app_factory is required")
     if boundary not in BOUNDARIES:
         raise ValueError(f"boundary must be one of {sorted(BOUNDARIES)}: {boundary!r}")
+    explicit_config = config is not None
     config = _apply_batching(config, f, batching)
+    config = _apply_leases(config, leases, explicit_config)
     env = Environment()
     rng = RngTree(seed)
     tracer = Tracer(enabled=trace)

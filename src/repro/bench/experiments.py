@@ -118,6 +118,7 @@ def _run_system(
     replica_cores: int = 2,
     request_distribution: str = "leader",
     batching=None,
+    leases=None,
     obs=None,
 ):
     """Build one deployment, drive it closed-loop, return (cluster, Summary).
@@ -153,7 +154,7 @@ def _run_system(
             )
             for _ in range(n_clients)
         ]
-    elif system in ("ctroxy", "etroxy"):
+    elif system in ("ctroxy", "etroxy", "lease"):
         cluster = build_troxy(
             seed=seed,
             app_factory=app_factory,
@@ -164,6 +165,7 @@ def _run_system(
             fast_reads=fast_reads,
             replica_cores=replica_cores,
             batching=batching,
+            leases=True if system == "lease" else leases,
         )
         if obs is not None:
             obs.attach(cluster)
@@ -272,6 +274,52 @@ def fig9_reads_wan(
             )
             points.append(Point("fig9", system, reply_size, summary,
                                 extra={"sim": cluster.sim_stats}))
+    return points
+
+
+def lease_reads(
+    reply_size: int = 1024,
+    n_clients: Optional[int] = None,
+    duration: float = 0.25,
+    wan_duration: float = 2.0,
+) -> list[Point]:
+    """Leased vs voted reads, LAN and WAN (docs/READS.md).
+
+    Four cells on the fig8/fig9 read-only workload: ``etroxy`` (the
+    fast-read cache with its per-read f+1 probe round) against
+    ``lease`` (local serve under a leader-granted lease, no probe
+    round), on the LAN and behind the 100±20 ms client link. The LAN
+    lease cell *is* the local-serve latency — request decrypt, cache
+    lookup, reply seal, nothing else — so the acceptance claim "WAN
+    lease read p50 drops to local-serve latency" is checked literally:
+    WAN lease p50 minus the WAN round trip lands on the LAN lease p50
+    (see benchmarks/test_leases.py).
+    """
+    n_clients = n_clients if n_clients is not None else _scaled(16, minimum=8)
+    points = []
+    for net, wan, nic, dur, warmup in (
+        ("local", None, None, duration, 0.1),
+        ("wan", WAN_DELAY, WAN_CLIENT_NIC, wan_duration, 1.5),
+    ):
+        for system in ("etroxy", "lease"):
+            cluster, summary = _run_system(
+                system, read_source(key_space=4), reply_size=reply_size,
+                n_clients=n_clients, warmup=warmup, duration=dur,
+                wan=wan, client_nic=nic,
+            )
+            lease_hits = sum(c.stats.lease_read_hits for c in cluster.cores)
+            probe_reads = sum(c.stats.fast_read_attempts for c in cluster.cores)
+            points.append(Point(
+                f"lease-{net}", system, reply_size, summary,
+                extra={
+                    "sim": cluster.sim_stats,
+                    "lease_read_hits": lease_hits,
+                    "fast_read_attempts": probe_reads,
+                    "grants_installed": sum(
+                        c.stats.lease_grants_installed for c in cluster.cores
+                    ),
+                },
+            ))
     return points
 
 

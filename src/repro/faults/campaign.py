@@ -225,6 +225,19 @@ def run_scenario(
             c.monitor.stats.switches_to_total_order for c in cluster.cores
         ),
         "enclave_reboots": sum(h.enclave.stats.reboots for h in cluster.hosts),
+        "lease_read_hits": sum(c.stats.lease_read_hits for c in cluster.cores),
+        "lease_grants_installed": sum(
+            c.stats.lease_grants_installed for c in cluster.cores
+        ),
+        "lease_grants_fenced": sum(
+            c.stats.lease_grants_fenced for c in cluster.cores
+        ),
+        "lease_revocations": sum(
+            c.stats.lease_revocations for c in cluster.cores
+        ),
+        "lease_writes_parked": sum(
+            r.stats.lease_writes_parked for r in cluster.replicas
+        ),
     }
     # Per-kind wire-rule hits: delayed messages arrive late and tapped
     # ones are merely observed, so only tamper/loss/corrupt hits count

@@ -292,6 +292,82 @@ def _catalogue() -> dict[str, Scenario]:
             cluster_kwargs=(("query_timeout", 0.2),),
         ),
         Scenario(
+            name="lease_partition_expiry",
+            description=(
+                "A lease-holding Troxy's server is partitioned away for "
+                "far longer than the lease duration: writes parked behind "
+                "its leases must proceed once the leases expire on the "
+                "shared clock, and the isolated holder must stop serving "
+                "lease reads at the same instant — no stale read may "
+                "surface after the heal."
+            ),
+            paper_ref="docs/READS.md (lease expiry under partition)",
+            schedule=Schedule.at(
+                0.3,
+                NetworkPartition((("replica-2",), ("replica-0", "replica-1"))),
+                duration=4.0,
+            ),
+            # Read-heavy so every Troxy (the victim included) holds
+            # leases when the partition hits; short leases so several
+            # grant/expiry cycles happen inside the isolation window.
+            workload=WorkloadSpec(
+                clients=3,
+                ops_per_client=30,
+                keys=("k0", "k1"),
+                write_ratio=0.15,
+                think_time=0.02,
+            ),
+            cluster_kwargs=(("leases", 0.3),),
+            horizon=60.0,
+        ),
+        Scenario(
+            name="lease_enclave_reboot",
+            description=(
+                "Two lease-holding Troxy enclaves are power-cycled mid-"
+                "workload (rollback attack): the volatile lease table "
+                "dies with the enclave and the sealed lease counter must "
+                "fence any replayed grant — a rebooted enclave can never "
+                "resurrect a lease it held before the crash."
+            ),
+            paper_ref="docs/READS.md (sealed-counter fencing)",
+            schedule=(
+                Schedule.at(0.3, EnclaveReboot("replica-0"))
+                + Schedule.at(0.8, EnclaveReboot("replica-1"))
+            ),
+            workload=WorkloadSpec(
+                clients=3,
+                ops_per_client=30,
+                keys=("k0", "k1"),
+                write_ratio=0.15,
+                think_time=0.02,
+            ),
+            cluster_kwargs=(("leases", 1.0),),
+        ),
+        Scenario(
+            name="lease_migration_freeze",
+            description=(
+                "A live shard handoff starts while read leases cover the "
+                "moving keys: the migration's quiesce step must revoke "
+                "every covering lease before state collection, the write "
+                "freeze must veto new grants on moving keys, and reads "
+                "fall back to the voted path across the cut-over."
+            ),
+            paper_ref="docs/READS.md + docs/SHARDING.md (freeze vs leases)",
+            schedule=Schedule.at(
+                0.5, ShardMigration(src="g0", dst="g1", fraction=0.5)
+            ),
+            workload=WorkloadSpec(
+                clients=3,
+                ops_per_client=30,
+                keys=("k0", "k1", "k2", "k3"),
+                write_ratio=0.15,
+                think_time=0.02,
+            ),
+            cluster_kwargs=(("leases", 0.5),),
+            horizon=60.0,
+            shards=2,
+        ),
+        Scenario(
             name="shard_migration_partition",
             description=(
                 "A live shard handoff from g0 to g1 starts while a source "

@@ -83,6 +83,53 @@ class BatchConfig:
 
 
 @dataclass(frozen=True)
+class LeaseConfig:
+    """Leader-granted read leases for the Troxy fast path (docs/READS.md).
+
+    While a Troxy enclave holds a valid lease on a key, it serves reads
+    for that key straight from its fast-read cache — no f+1 cache-digest
+    vote round — because the group leader guarantees no write to the key
+    commits before the lease is revoked (acknowledged) or has expired on
+    the shared simulation clock. ``duration`` is the lifetime of one
+    grant; ``renew_margin`` is how close to expiry a serving Troxy asks
+    the leader for a fresh grant; ``request_backoff`` rate-limits lease
+    requests per key so a cold or contended key does not flood the
+    leader.
+
+    The default configuration is *off*: no grants, no lease messages, no
+    extra protocol state — the wire trace is byte-identical to a
+    pre-lease deployment (tests/integration/test_lease_conformance.py
+    pins this).
+    """
+
+    enabled: bool = False
+    duration: float = 0.5
+    renew_margin: float = 0.125
+    request_backoff: float = 0.02
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if not 0 < self.renew_margin < self.duration:
+            raise ValueError(
+                f"renew_margin must be in (0, duration), got {self.renew_margin}"
+            )
+        if self.request_backoff < 0:
+            raise ValueError(
+                f"request_backoff must be >= 0, got {self.request_backoff}"
+            )
+
+    @staticmethod
+    def on(duration: float = 0.5) -> "LeaseConfig":
+        return LeaseConfig(
+            enabled=True,
+            duration=duration,
+            renew_margin=duration / 4,
+            request_backoff=min(0.02, duration / 8),
+        )
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Static membership and protocol parameters.
 
@@ -96,6 +143,7 @@ class ClusterConfig:
     progress_timeout: float = 1.0  # replica-side view-change trigger
     runtime: str = "java"  # protocol-processing cost profile
     batching: BatchConfig = field(default_factory=BatchConfig)
+    leases: LeaseConfig = field(default_factory=LeaseConfig)
     #: Node-name prefix for this agreement group's replicas. The default
     #: (empty) keeps the historical ``replica-{i}`` names; sharded
     #: deployments (repro.shard) give every group beyond the first its

@@ -144,6 +144,15 @@ class Reply:
     request_digest: bytes
     view: int = 0
     troxy_tag: Optional[bytes] = None
+    #: False when the replica re-emitted this reply from its duplicate-
+    #: suppression cache instead of executing the request now. The flag
+    #: is a header bit (no wire-size contribution) but is folded into
+    #: ``auth_bytes`` so the untrusted host relaying the reply cannot
+    #: pass a replay off as a fresh execution: a replayed read carries
+    #: its *original* execution position's value, and the voting Troxy
+    #: must never (re-)install it into the fast-read cache
+    #: (docs/READS.md).
+    fresh: bool = True
     wire_size: int = field(init=False, compare=False, repr=False)
 
     def __post_init__(self):
@@ -174,6 +183,7 @@ class Reply:
                     self.request_id.to_bytes(8, "big"),
                     self.result_digest(),
                     self.request_digest,
+                    b"\x01" if self.fresh else b"\x00",
                 ]
             )
             object.__setattr__(self, "_auth", cached)
@@ -219,16 +229,30 @@ class Order:
     request: Request
     cert: CounterCertificate
     sender: str
+    #: Read-lease grants piggybacked on this slot (docs/READS.md). Empty
+    #: in any lease-free deployment: the wire size and content digest are
+    #: then byte-identical to the historical format. Non-empty grants are
+    #: folded into the certified content digest, so a relaying host can
+    #: neither strip nor alter them without invalidating the order cert.
+    grants: tuple = ()
     wire_size: int = field(init=False, compare=False, repr=False)
 
     def __post_init__(self):
         object.__setattr__(
             self, "wire_size",
-            _HEADER + 16 + self.request.wire_size + self.cert.wire_size,
+            _HEADER + 16 + self.request.wire_size + self.cert.wire_size
+            + sum(grant.wire_size for grant in self.grants),
         )
 
     @staticmethod
-    def content_digest(view: int, seq: int, request_digest: bytes) -> bytes:
+    def content_digest(
+        view: int, seq: int, request_digest: bytes, grants: tuple = ()
+    ) -> bytes:
+        if grants:
+            return intern_digest(
+                b"ORDER", view.to_bytes(8, "big"), seq.to_bytes(8, "big"),
+                request_digest, *(grant.digest() for grant in grants),
+            )
         return intern_digest(
             b"ORDER", view.to_bytes(8, "big"), seq.to_bytes(8, "big"), request_digest
         )
@@ -237,7 +261,9 @@ class Order:
         try:
             return self._digest
         except AttributeError:
-            cached = self.content_digest(self.view, self.seq, self.request.digest())
+            cached = self.content_digest(
+                self.view, self.seq, self.request.digest(), self.grants
+            )
             object.__setattr__(self, "_digest", cached)
             return cached
 

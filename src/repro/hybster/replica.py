@@ -98,6 +98,13 @@ class ReplicaStats:
     batch_flush_idle: int = 0
     batch_flush_drain: int = 0
     max_pipeline_depth: int = 0
+    # Lease granting and write parking (leader side; docs/READS.md).
+    # All zero when leases are disabled.
+    lease_grants_attached: int = 0
+    lease_writes_parked: int = 0
+    lease_revokes_sent: int = 0
+    lease_parked_released: int = 0
+    lease_parked_dropped: int = 0
 
 
 class Replica:
@@ -202,6 +209,15 @@ class Replica:
         # Optional observability plane (repro.obs): spans around
         # ordering and execution, commit events, certify attribution.
         self.obs = None
+        # Lease-read support (docs/READS.md), wired by the Troxy build
+        # when leases are enabled. Everything lease-shaped is injected
+        # so this layer stays importable without repro.troxy.
+        self.lease_manager = None  # leader-side granting/parking state
+        self.lease_directory = None  # per-replica mirror of ordered grants
+        self.lease_sink: Optional[Callable] = None  # executed grants -> enclave
+        self.lease_revoke_sink: Optional[Callable] = None  # self-revoke shortcut
+        self.lease_keys_fn: Callable[[Operation], tuple] = lambda op: (op.key,)
+        self._lease_flush_armed = False
 
         # Trusted-subsystem entry points (three of Hybster's boundary
         # crossings); each certify pays the crossing plus one MAC.
@@ -423,6 +439,23 @@ class Replica:
             if (request.client_id, request.request_id) in self._inflight:
                 return
             self._inflight.add((request.client_id, request.request_id))
+            if (
+                self.lease_manager is not None
+                and not request.op.is_read
+                and request.client_id != NOOP_REQUEST_CLIENT
+            ):
+                blocked = self.lease_manager.blocking_keys(
+                    self.lease_keys_fn(request.op), self.env.now
+                )
+                if blocked:
+                    # Single writer per key: the write waits until every
+                    # covering lease is revoked-and-acked or has expired
+                    # on the shared clock (docs/READS.md).
+                    self.stats.lease_writes_parked += 1
+                    self.lease_manager.park(request, blocked)
+                    for key in blocked:
+                        yield from self._revoke_lease(key)
+                    return
             if self._batcher is None:
                 yield from self._order(request)
             else:
@@ -480,7 +513,14 @@ class Replica:
                 if self._batcher is not None:
                     self._inflight_batch_seqs.add(seq)
                 payload_digest = payload.digest()
-                content = Order.content_digest(self.view, seq, payload_digest)
+                # Pending lease grants ride this slot: they become part
+                # of the certified content, so the untrusted host cannot
+                # strip or alter them in a relayed ORDER (docs/READS.md).
+                grants = ()
+                if self.lease_manager is not None:
+                    grants = self.lease_manager.grants_for_slot(seq, self.env.now)
+                    self.stats.lease_grants_attached += len(grants)
+                content = Order.content_digest(self.view, seq, payload_digest, grants)
                 if self.obs is not None:
                     self.obs.certify_scope(self.node.name, payload)
                 # Counter certification crosses the trusted boundary (JNI/SGX).
@@ -496,7 +536,7 @@ class Replica:
                 if self.obs is not None:
                     self.obs.certify_scope_end(self.node.name)
                 self._order_lock.release()
-            order = Order(self.view, seq, payload, cert, self.replica_id)
+            order = Order(self.view, seq, payload, cert, self.replica_id, grants)
             entry = self.log.setdefault(seq, LogEntry())
             self._install_order(entry, order)
             entry.commit_senders[self.replica_id] = cert  # the ORDER is the leader's commit
@@ -602,7 +642,9 @@ class Replica:
         if order.sender != self.leader_id:
             self.stats.invalid_messages += 1
             return
-        expected = Order.content_digest(order.view, order.seq, order.request.digest())
+        expected = Order.content_digest(
+            order.view, order.seq, order.request.digest(), order.grants
+        )
         if order.cert.digest != expected or order.cert.value != order.seq:
             self.stats.invalid_messages += 1
             return
@@ -744,6 +786,11 @@ class Replica:
             finally:
                 if span is not None:
                     self.obs.execute_end(span)
+        if entry.order.grants and self.lease_sink is not None:
+            # Leases activate only when their carrying slot *executes*:
+            # every earlier write has already invalidated the holder's
+            # cache, so activation can never expose a pre-write entry.
+            yield from self.lease_sink(entry.order.grants)
         self._progress_made()
         if seq % self.config.checkpoint_interval == 0:
             yield from self._emit_checkpoint(seq)
@@ -956,6 +1003,7 @@ class Replica:
         self.net.reset_streams(self.node.name)
         self._stopped = False
         self._view_change_pending = None
+        self._drop_parked_writes()
         self._progress_deadline = self.env.now + self.config.progress_timeout
         if self._owns_inbox:
             self._loop_generation += 1
@@ -1002,6 +1050,152 @@ class Replica:
         for seq in [s for s in self._checkpoint_votes if s < self.stable_seq]:
             del self._checkpoint_votes[seq]
 
+    # -- lease granting & write parking (docs/READS.md) --------------------------------------------
+
+    def handle_lease_request(self, msg):
+        """A Troxy asked for (or renewed) a read lease on one key.
+
+        Fire-and-forget from the holder's perspective: the leader queues
+        the request and the grant rides the next ordered slot. Refused
+        silently when this replica is not leading or a view change is in
+        flight — the holder re-requests after its backoff.
+        """
+        yield from self.node.compute(self._rx_cost(msg.wire_size) + self._mac_cost_const)
+        holder_key = self.keyring.troxy_instance(msg.holder)
+        if not holder_key.verify(msg.auth_input(msg.key, msg.holder), msg.tag):
+            self.stats.invalid_messages += 1
+            return
+        if (
+            self.lease_manager is None
+            or not self.is_leader
+            or self._view_change_pending is not None
+        ):
+            return
+        if self.lease_manager.note_request(msg.key, msg.holder, self.env.now):
+            self._arm_lease_flush()
+
+    def _arm_lease_flush(self) -> None:
+        """Queued grants must not depend on write traffic for delivery:
+        if no slot is ordered within one backoff window, a noop slot is
+        ordered to carry them. Read-only workloads renew leases through
+        exactly this path."""
+        if self._lease_flush_armed:
+            return
+        self._lease_flush_armed = True
+        self.env.process(
+            self._lease_grant_flush(),
+            name=f"{self.replica_id}:lease-flush",
+        )
+
+    def _lease_grant_flush(self):
+        try:
+            yield self.env.timeout(self.lease_manager.config.request_backoff)
+            if (
+                self._stopped
+                or not self.is_leader
+                or self._view_change_pending is not None
+                or self.lease_manager is None
+                or not self.lease_manager.has_pending()
+            ):
+                return
+            yield from self._order(noop_request(self.next_seq, self.replica_id))
+        finally:
+            self._lease_flush_armed = False
+
+    def handle_lease_ack(self, ack):
+        """A holder confirmed its lease is dead and fenced; writes parked
+        behind that lease can be ordered."""
+        yield from self.node.compute(self._rx_cost(ack.wire_size) + self._mac_cost_const)
+        holder_key = self.keyring.troxy_instance(ack.holder)
+        if not holder_key.verify(
+            ack.auth_input(ack.key, ack.epoch, ack.holder), ack.tag
+        ):
+            self.stats.invalid_messages += 1
+            return
+        if self.lease_manager is None:
+            return
+        if self.lease_manager.on_ack(ack.key, ack.epoch, ack.holder):
+            yield from self._release_lease_key(ack.key)
+
+    def _revoke_lease(self, key: str):
+        """Start revoking the lease covering ``key``: tell the holder to
+        stop serving, and arm the expiry timer as the no-ack fallback
+        (the holder may be partitioned — once the lease expires on the
+        shared clock it cannot serve either way)."""
+        manager = self.lease_manager
+        grant = manager.begin_revoke(key)
+        if grant is None:
+            if not manager.is_revoking(key):
+                # The lease vanished (expired) between the blocking check
+                # and now: nothing blocks the parked write anymore.
+                yield from self._release_lease_key(key)
+            return
+        self.stats.lease_revokes_sent += 1
+        revoke = manager.make_revoke(grant)
+        yield from self.node.compute(self._tx_cost(revoke.wire_size) + self._mac_cost_const)
+        if grant.holder == self.replica_id and self.lease_revoke_sink is not None:
+            # Revoking our own co-located Troxy: straight into the ecall.
+            yield from self.lease_revoke_sink(revoke)
+        else:
+            self._send(
+                grant.holder, revoke,
+                trace=f"lease key={key}" if self.tracer.enabled else "",
+            )
+        self.env.process(
+            self._lease_revoke_timer(key, grant),
+            name=f"{self.replica_id}:lease-timer",
+        )
+
+    def _lease_revoke_timer(self, key: str, grant):
+        yield self.env.timeout(max(grant.expiry - self.env.now, 0.0))
+        if self._stopped or self.lease_manager is None:
+            return
+        if self.lease_manager.on_revoke_expired(key, grant, self.env.now):
+            yield from self._release_lease_key(key)
+
+    def _release_lease_key(self, key: str):
+        """A lease stopped covering ``key``: re-dispatch every parked
+        write that has no blocking keys left."""
+        released = self.lease_manager.release_key(key)
+        self.stats.lease_parked_released += len(released)
+        for request in released:
+            yield from self._order_released(request)
+
+    def _order_released(self, request: Request):
+        key = (request.client_id, request.request_id)
+        if (
+            self._stopped
+            or not self.is_leader
+            or self._view_change_pending is not None
+        ):
+            self._inflight.discard(key)  # client retransmits to the new leader
+            return
+        manager = self.lease_manager
+        blocked = manager.blocking_keys(self.lease_keys_fn(request.op), self.env.now)
+        if blocked:
+            # A fresh lease landed while this write was parked: park
+            # again behind a new revocation round.
+            manager.park(request, blocked)
+            for blocked_key in blocked:
+                yield from self._revoke_lease(blocked_key)
+            return
+        if self._batcher is None:
+            yield from self._order(request)
+        else:
+            self._batcher.enqueue(request, self.env.now)
+            if self.obs is not None:
+                self.obs.queue_enter(self, request)
+            self._batch_signal.put(True)
+
+    def _drop_parked_writes(self) -> None:
+        """View change / restart: abandon parked writes (clients
+        retransmit; a new leader re-parks against its adopted leases)."""
+        if self.lease_manager is None:
+            return
+        for request in self.lease_manager.drain_parked():
+            self._inflight.discard((request.client_id, request.request_id))
+            self.stats.lease_parked_dropped += 1
+
     # -- progress monitoring & view change ----------------------------------------------------------
 
     def _install_order(self, entry: LogEntry, order: Order) -> None:
@@ -1009,6 +1203,12 @@ class Replica:
         if entry.order is None and not entry.executed:
             self._unexec_ordered += 1
         entry.order = order
+        if order.grants and self.lease_directory is not None:
+            # Mirror every grant seen in the ordered stream: should this
+            # replica lead later, the mirror is its (conservative) view
+            # of which leases may still be live (docs/READS.md).
+            for grant in order.grants:
+                self.lease_directory.observe(grant)
 
     def _note_progress_needed(self) -> None:
         if self._progress_deadline is None:
@@ -1049,6 +1249,7 @@ class Replica:
         self.stats.view_changes += 1
         self._view_change_pending = new_view
         self._drop_batch_backlog()
+        self._drop_parked_writes()
         self._progress_deadline = self.env.now + self.config.progress_timeout
         prepared = tuple(
             entry.order
@@ -1128,6 +1329,19 @@ class Replica:
         self.view = new_view
         self._view_change_pending = None
         self._drop_batch_backlog()
+        self._drop_parked_writes()
+        if self.lease_manager is not None:
+            # Take over granting: forget pending requests from the old
+            # leadership and adopt the directory mirror as the active
+            # lease set. The mirror may over-approximate (a write then
+            # parks at most one lease duration) but cannot miss a lease
+            # below this replica's commit point — every grant rode a
+            # certified order.
+            self.lease_manager.reset()
+            if self.lease_directory is not None:
+                self.lease_manager.adopt(
+                    self.lease_directory.active(self.env.now), self.env.now
+                )
         self._ensure_counter(self._order_counter(new_view))
         self._ensure_counter(self._commit_counter(new_view))
         self._pending_orders.clear()
@@ -1140,7 +1354,12 @@ class Replica:
         for seq in range(self.stable_seq + 1, max_seq + 1):
             old = union.get(seq)
             request = old.request if old is not None else noop_request(seq, self.replica_id)
-            content = Order.content_digest(new_view, seq, request.digest())
+            # Re-proposals must carry the original grants forward: a
+            # replica that only learns this slot from the new view still
+            # mirrors the grant, so a third leader in quick succession
+            # cannot miss a lease that is still being served.
+            grants = old.grants if old is not None else ()
+            content = Order.content_digest(new_view, seq, request.digest(), grants)
             cert = yield from self.boundary.ecall(
                 "certify_order",
                 self._order_counter(new_view),
@@ -1149,7 +1368,7 @@ class Replica:
                 bytes_in=DIGEST_SIZE,
                 bytes_out=80,
             )
-            order = Order(new_view, seq, request, cert, self.replica_id)
+            order = Order(new_view, seq, request, cert, self.replica_id, grants)
             reproposals.append(order)
             if seq >= self.next_exec:
                 entry = self.log.setdefault(seq, LogEntry())
@@ -1202,6 +1421,9 @@ class Replica:
         self.view = nv.view
         self._view_change_pending = None
         self._drop_batch_backlog()
+        self._drop_parked_writes()
+        if self.lease_manager is not None:
+            self.lease_manager.reset()  # leadership (if any) is over
         self._ensure_counter(self._commit_counter(nv.view))
         self._pending_orders.clear()
         self._next_order_intake = self.stable_seq + 1

@@ -47,6 +47,14 @@ EXPECTED: dict[str, tuple[str, ...]] = {
     "unresponsive_cache_peer": (
         "fast_read_abort_storm", "mode_switch", "slo_violation",
     ),
+    # Lease scenarios (docs/READS.md): leases are enabled and the fault
+    # targets the lease machinery itself.
+    "lease_partition_expiry": (
+        "replica_divergence", "sealed_counter_stall", "client_retry_spike",
+        "slo_violation",
+    ),
+    "lease_enclave_reboot": ("enclave_reboot",),
+    "lease_migration_freeze": ("slo_violation", "client_retry_spike"),
     # Sharded scenarios (docs/SHARDING.md) build two agreement groups.
     "shard_migration_partition": (
         "replica_divergence", "sealed_counter_stall", "client_retry_spike",

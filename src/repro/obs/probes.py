@@ -314,6 +314,43 @@ class ObsPlane:
             node=core.node.name, outcome=outcome,
         ).inc()
 
+    def lease_result(self, core, client_request, outcome: str) -> None:
+        """Lease read path verdict (docs/READS.md): ``hit`` (served
+        locally under a valid lease) or ``cold`` (leased but no
+        f+1-corroborated entry; ordered instead)."""
+        self.spans.event(
+            "troxy.lease_read", self.now, trace_id=trace_key(client_request),
+            node=core.node.name, outcome=outcome,
+        )
+        self.registry.counter(
+            "lease_read_results_total", "Lease read path outcomes",
+            node=core.node.name, outcome=outcome,
+        ).inc()
+
+    def lease_install(self, core, grant, outcome: str) -> None:
+        """A grant reached the holder's enclave: installed, expired,
+        stale, or fenced by the sealed lease counter."""
+        self.spans.event(
+            "troxy.lease_install", self.now, trace_id=None,
+            node=core.node.name, key=grant.key, outcome=outcome,
+        )
+        self.registry.counter(
+            "lease_installs_total", "Lease grant install outcomes",
+            node=core.node.name, outcome=outcome,
+        ).inc()
+
+    def lease_revoked(self, core, key: str) -> None:
+        """The holder processed a revocation: lease dropped, epoch
+        burned, key's cache entries invalidated."""
+        self.spans.event(
+            "troxy.lease_revoke", self.now, trace_id=None,
+            node=core.node.name, key=key,
+        )
+        self.registry.counter(
+            "lease_revocations_total", "Lease revocations processed",
+            node=core.node.name,
+        ).inc()
+
     def vote_begin(self, core, reply):
         return self.spans.begin(
             "troxy.vote", self.now, trace_id=_maybe_trace(reply),

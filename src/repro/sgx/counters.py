@@ -164,3 +164,44 @@ def certify_ledger_checkpoint(
     if not subsystem.exists(LEDGER_COUNTER):
         subsystem.create(LEDGER_COUNTER)
     return subsystem.certify_at(LEDGER_COUNTER, seq, head)
+
+
+#: Sealed counter fencing read-lease installs (repro.troxy.lease).
+LEASE_COUNTER = "troxy-lease"
+
+
+def certify_lease(
+    subsystem: TrustedCounterSubsystem, epoch: int, digest: bytes
+) -> CounterCertificate:
+    """Trusted-side body of the ``install_lease`` ecall.
+
+    Binds lease ``epoch`` to the grant digest under the sealed
+    ``troxy-lease`` counter. Epochs are derived from the agreement
+    sequence number that carried the grant, so they are strictly
+    increasing in the order the enclave installs them; the sealed value
+    survives enclave reboots, which is what makes lease reads safe
+    against rollback: a power-cycled enclave loses its lease table, and
+    a replayed grant certifies at or below the sealed value and is
+    rejected (:class:`CounterError`) — a rolled-back Troxy can never
+    resurrect a lease and serve a stale local read.
+    """
+    if not subsystem.exists(LEASE_COUNTER):
+        subsystem.create(LEASE_COUNTER)
+    return subsystem.certify_at(LEASE_COUNTER, epoch, digest)
+
+
+def burn_lease_epoch(subsystem: TrustedCounterSubsystem, epoch: int) -> bool:
+    """Fence off ``epoch`` without installing anything.
+
+    Used when a revocation arrives for a grant the enclave never saw
+    (lost, still in flight, or wiped by a reboot): burning the epoch
+    guarantees the late grant can never install afterwards. Returns
+    whether the counter actually moved — an epoch at or below the sealed
+    value is already fenced and needs no burn.
+    """
+    if not subsystem.exists(LEASE_COUNTER):
+        subsystem.create(LEASE_COUNTER)
+    if epoch <= subsystem.current(LEASE_COUNTER):
+        return False
+    subsystem.certify_at(LEASE_COUNTER, epoch, b"lease-burn")
+    return True

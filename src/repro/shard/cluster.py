@@ -27,13 +27,14 @@ from ..bench.clusters import (
     LAN_LATENCY,
     MASTER_SECRET,
     _apply_batching,
+    _apply_leases,
     _build_troxy_replica,
     _wan_client_links,
     BOUNDARIES,
 )
 from ..crypto.keys import KeyRing
 from ..hybster.client import ClientMachine
-from ..hybster.config import BatchConfig, ClusterConfig
+from ..hybster.config import BatchConfig, ClusterConfig, LeaseConfig
 from ..hybster.replica import Replica
 from ..sgx.attestation import AttestationService
 from ..sim.engine import Environment
@@ -192,6 +193,7 @@ def build_sharded(
     replica_cores: int = 8,
     config: Optional[ClusterConfig] = None,
     batching: Union[BatchConfig, int, str, None] = None,
+    leases: Union[LeaseConfig, bool, float, str, None] = None,
     monitor_factory: Callable[[], ConflictMonitor] = None,
     cache_entries: int = 65536,
     cache_outside: bool = True,
@@ -212,7 +214,9 @@ def build_sharded(
     if boundary not in BOUNDARIES:
         raise ValueError(f"boundary must be one of {sorted(BOUNDARIES)}: {boundary!r}")
     shards = resolve_shards(shards)
+    explicit_config = config is not None
     base_config = _apply_batching(config, f, batching)
+    base_config = _apply_leases(base_config, leases, explicit_config)
     if base_config.replica_prefix:
         raise ValueError("build_sharded assigns group prefixes itself")
     configs = [
@@ -257,6 +261,18 @@ def build_sharded(
                 router=router,
                 keys_fn=shard_keys_fn,
             )
+            if replica.lease_manager is not None:
+                # A group leader must only lease keys its group owns and
+                # that are not pinned elsewhere or write-frozen by a
+                # migration; ownership can change under it, so the veto
+                # is evaluated at every grant.
+                gid = group_ids[g]
+                replica.lease_manager.set_grantable(
+                    lambda key, _gid=gid: (
+                        router.group_of_key(key) == _gid
+                        and not router._write_frozen(key)
+                    )
+                )
             replicas.append(replica)
             hosts.append(host)
             cores.append(core)

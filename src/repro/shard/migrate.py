@@ -139,6 +139,7 @@ class ShardMigrator:
         router.freeze(moving)
         client = cluster.new_client()
         try:
+            yield from self._quiesce_leases(src, moving)
             pairs, rounds = yield from self._stable_state(
                 client, src, moving, mid
             )
@@ -173,6 +174,37 @@ class ShardMigrator:
         report.completed_at = env.now
         report.completed = True
         return report
+
+    # -- lease quiesce -------------------------------------------------------------
+
+    def _quiesce_leases(self, src: str, moving):
+        """Revoke read leases covering the moving keys before collection.
+
+        A live lease on a moving key would let its holder keep serving
+        local reads from pre-migration state after the cut-over. With
+        the write freeze already up no *new* lease can be granted on
+        these keys (the grantable veto refuses frozen keys), so one
+        sweep — revoke every active grant, then wait for each to be
+        acknowledged or to lapse on the shared clock — quiesces them.
+        """
+        env = self.cluster.env
+        leader = self.cluster.group(src).leader
+        manager = leader.lease_manager
+        if manager is None:
+            return
+        keys = tuple(key for key in list(manager._active) if moving(key))
+        if not keys:
+            return
+        horizon = max(manager._active[key].expiry for key in keys)
+        for key in keys:
+            yield from leader._revoke_lease(key)
+        deadline = max(horizon, env.now) + 60 * self.collect_retry
+        while any(manager.is_revoking(key) for key in keys):
+            if env.now >= deadline:
+                raise MigrationError(
+                    "lease quiesce on moving keys did not settle"
+                )
+            yield env.timeout(self.collect_retry)
 
     # -- fenced state collection ---------------------------------------------------
 

@@ -28,11 +28,20 @@ from ..sgx.enclave import Enclave
 
 @dataclass
 class CacheEntry:
-    """One cached read result."""
+    """One cached read result.
+
+    ``voted`` marks entries corroborated by f+1 distinct Troxies (a
+    completed reply vote or a successful fast-read quorum); entries
+    installed from the local replica's execution alone stay unvoted.
+    The lease read path (docs/READS.md) serves only voted entries — a
+    lease removes the per-read quorum, so the entry itself must already
+    carry f+1 trust.
+    """
 
     request_digest: bytes
     reply: Reply
     keys: tuple[str, ...]
+    voted: bool = False
 
     @property
     def enclave_bytes(self) -> int:
@@ -94,15 +103,42 @@ class FastReadCache:
         self.stats.hits += 1
         return entry.reply
 
+    def get_voted(self, request_digest: bytes) -> Optional[Reply]:
+        """Like :meth:`get`, but only returns f+1-corroborated entries
+        (the lease serve path must not trust the local replica alone)."""
+        entry = self._entries.get(request_digest)
+        if entry is None or not entry.voted:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(request_digest)
+        self.stats.hits += 1
+        return entry.reply
+
+    def promote(self, request_digest: bytes) -> bool:
+        """Mark an entry voted after an f+1 corroboration (a completed
+        fast-read quorum counts: f remote caches matched the local one)."""
+        entry = self._entries.get(request_digest)
+        if entry is None:
+            return False
+        entry.voted = True
+        return True
+
     def peek(self, request_digest: bytes) -> Optional[Reply]:
         """Look up without touching hit/miss statistics or LRU order."""
         entry = self._entries.get(request_digest)
         return None if entry is None else entry.reply
 
-    def install(self, request_digest: bytes, reply: Reply, keys: tuple[str, ...]) -> None:
-        """Install a *voted* ordered-read result."""
+    def install(
+        self,
+        request_digest: bytes,
+        reply: Reply,
+        keys: tuple[str, ...],
+        voted: bool = False,
+    ) -> None:
+        """Install an ordered-read result (``voted`` when it carries an
+        f+1 reply quorum rather than just the local replica's word)."""
         self.remove(request_digest)
-        entry = CacheEntry(request_digest, reply, keys)
+        entry = CacheEntry(request_digest, reply, keys, voted=voted)
         self._entries[request_digest] = entry
         for key in keys:
             self._key_index.setdefault(key, set()).add(request_digest)

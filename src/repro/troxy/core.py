@@ -19,7 +19,7 @@ network itself — the prototype's "no ocalls" property.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from ..apps.base import Operation
@@ -33,11 +33,16 @@ from ..hybster.secure import SecureEnvelope, open_body, seal_body
 from ..sgx.enclave import Enclave
 from ..sim.network import Node
 from .cache import FastReadCache
+from .lease import LeaseTable
 from .messages import (
     BatchedReply,
     CacheEntryReply,
     CacheQuery,
     ForwardedRequest,
+    LeaseGrant,
+    LeaseRequest,
+    LeaseRevoke,
+    LeaseRevokeAck,
     ShardFastReply,
 )
 from .monitor import ConflictMonitor
@@ -59,8 +64,14 @@ class Action:
                   in the key's owning group (docs/SHARDING.md);
       "send_shard_reply" — send ``shard_reply`` (a ShardFastReply) to the
                   fronting replica ``dst``;
+      "send_lease_ack" — send ``lease_ack`` (a LeaseRevokeAck) to the
+                  revoking leader ``dst`` (docs/READS.md);
       "wait"   — nothing yet;
       "drop"   — discard (failed authentication etc.).
+
+    ``lease`` optionally piggybacks a LeaseRequest on any action: the
+    host forwards it to the current group leader in addition to acting
+    on the main kind (fire-and-forget lease acquisition/renewal).
     """
 
     kind: str
@@ -74,6 +85,8 @@ class Action:
     reason: str = ""
     forward: Optional[ForwardedRequest] = None
     shard_reply: Optional[ShardFastReply] = None
+    lease: Optional[LeaseRequest] = None
+    lease_ack: Optional[LeaseRevokeAck] = None
 
 
 @dataclass
@@ -136,6 +149,7 @@ class TroxyStats:
     #: voted read results discarded instead of installed because a write
     #: invalidated their keys while the vote was in flight.
     stale_installs_skipped: int = 0
+    replay_installs_skipped: int = 0
     # Sharded routing (docs/SHARDING.md): requests handed to / received
     # from other groups' Troxies, post-cut-over stragglers passed along,
     # writes rejected during a migration freeze, and fast-read verdicts
@@ -146,6 +160,19 @@ class TroxyStats:
     frozen_rejects: int = 0
     shard_fast_replies_sent: int = 0
     shard_fast_replies_accepted: int = 0
+    # Lease reads (docs/READS.md): local serves under a valid lease,
+    # reads that held a lease but lacked an f+1-corroborated entry
+    # (ordered instead), requests/renewals sent to the leader, grant
+    # install outcomes at this holder, and revocations processed. A
+    # "fenced" grant is one the sealed lease counter refused — the
+    # rollback/replay case the counter exists to kill.
+    lease_read_hits: int = 0
+    lease_read_uncorroborated: int = 0
+    lease_requests_sent: int = 0
+    lease_grants_installed: int = 0
+    lease_grants_rejected: int = 0
+    lease_grants_fenced: int = 0
+    lease_revocations: int = 0
 
 
 class TroxyCore:
@@ -165,6 +192,7 @@ class TroxyCore:
         monitor: Optional[ConflictMonitor] = None,
         keys_fn: Optional[Callable[[Operation], tuple]] = None,
         router=None,
+        counters=None,
     ):
         self.node = node
         self.enclave = enclave
@@ -203,14 +231,30 @@ class TroxyCore:
         self._fast_reads: dict[int, _FastRead] = {}
         self._nonces = itertools.count(1)
         self._instance_key = keyring.troxy_instance(replica_id)
+        # Read leases (docs/READS.md): the lease table lives inside the
+        # enclave and fences installs with the sealed ``troxy-lease``
+        # counter; ``counters`` is this enclave's trusted counter
+        # subsystem. Leases engage only when both the config enables
+        # them and a counter subsystem is wired — otherwise the path is
+        # dormant and the wire format is byte-identical to pre-lease.
+        self.counters = counters
+        self.leases_enabled = bool(config.leases.enabled and counters is not None)
+        self.lease_table = LeaseTable(counters) if self.leases_enabled else None
+        #: per-key timestamp of the last LeaseRequest, for backoff.
+        self._lease_requested: dict[str, float] = {}
         enclave.on_reboot(self._on_reboot)
 
     def _on_reboot(self) -> None:
         # Volatile state is lost; clients re-establish sessions and
-        # retransmit. (The cache registers its own reboot hook.)
+        # retransmit. (The cache registers its own reboot hook.) The
+        # lease table dies with the enclave while its sealed counter
+        # survives — rollback can never resurrect a lease.
         self._sessions.clear()
         self._pending.clear()
         self._fast_reads.clear()
+        self._lease_requested.clear()
+        if self.lease_table is not None:
+            self.lease_table.clear()
 
     # -- ecall: session management ------------------------------------------------
 
@@ -264,6 +308,12 @@ class TroxyCore:
                         body, bft_request, client_machine, decision.target
                     )
                 )
+        lease_request = None
+        if self.leases_enabled and bft_request.op.is_read:
+            served = yield from self._try_lease_read(body, bft_request, client_machine)
+            if served is not None:
+                return served
+            lease_request = yield from self._maybe_lease_request(bft_request.op)
         if (
             self.fast_reads
             and bft_request.op.is_read
@@ -271,8 +321,10 @@ class TroxyCore:
         ):
             action = yield from self._try_fast_read(body, bft_request, client_machine)
             if action is not None:
-                return action
-        return self._order(body, bft_request, client_machine)
+                return self._with_lease_request(action, lease_request)
+        return self._with_lease_request(
+            self._order(body, bft_request, client_machine), lease_request
+        )
 
     def _forward(
         self,
@@ -327,6 +379,203 @@ class TroxyCore:
     def _cache_key(self, op: Operation) -> bytes:
         # Cache identity is the *operation*, shared across clients.
         return op.digest()
+
+    # -- lease read path (docs/READS.md) ---------------------------------------------
+
+    @staticmethod
+    def _with_lease_request(action: Action, lease_request) -> Action:
+        """Piggyback a fire-and-forget LeaseRequest on an action."""
+        if lease_request is None:
+            return action
+        return replace(action, lease=lease_request)
+
+    def _try_lease_read(
+        self,
+        client_request: Request,
+        bft_request: Request,
+        client_machine: str,
+        origin: str = "",
+    ):
+        """Serve a read locally under a valid lease, with no probe round.
+
+        Returns a final Action when the lease covers the read: either
+        the served result (cache hit on an f+1-corroborated entry) or an
+        ordering action (entry missing or uncorroborated — the ordered
+        read warms the cache to voted status). Returns None when the
+        keys are not all leased; the caller then takes the normal voted
+        path and piggybacks a lease acquisition request.
+
+        Safety: the grant activated at this enclave only when the
+        carrying slot *executed*, after every earlier write to the key
+        had already invalidated the cache; the leader parks any later
+        write until this lease is revoked-and-acked or has expired on
+        the shared clock. A surviving voted entry therefore reflects the
+        last committed write for as long as the lease is valid.
+        """
+        keys = self.keys_fn(bft_request.op)
+        now = self.node.env.now
+        if not self.lease_table.covers(keys, now):
+            return None
+        yield from self.node.compute(
+            self._hash_base + self._hash_per_byte * bft_request.op.size
+        )
+        cached = self.cache.get_voted(self._cache_key(bft_request.op))
+        renewal = yield from self._maybe_lease_request(bft_request.op)
+        if cached is None:
+            # Leased but nothing trustworthy to serve: order the read.
+            # Never serve a result only the local replica vouches for —
+            # the lease removes the per-read quorum, so the entry itself
+            # must already carry f+1 trust (vote install or promotion).
+            self.stats.lease_read_uncorroborated += 1
+            if self.obs is not None:
+                self.obs.lease_result(self, client_request, "cold")
+            if origin:
+                self.stats.ordered_requests += 1
+                return self._with_lease_request(
+                    Action("order", request=bft_request), renewal
+                )
+            return self._with_lease_request(
+                self._order(client_request, bft_request, client_machine), renewal
+            )
+        if self.cache.store_outside:
+            yield from self.node.compute(
+                self._hash_base + self._hash_per_byte * cached.result.size
+            )
+        else:
+            yield from self.enclave.touch(cached.result.size)
+        self.stats.lease_read_hits += 1
+        if self.obs is not None:
+            self.obs.lease_result(self, client_request, "hit")
+        if origin:
+            action = yield from self._attest_lease_shard_reply(
+                bft_request, cached, origin
+            )
+            return self._with_lease_request(action, renewal)
+        envelope = yield from self._seal_client_reply(
+            client_request, cached.result, cached.request_digest
+        )
+        if envelope is None:
+            return Action("drop", reason="no client session")
+        return self._with_lease_request(
+            Action("reply", dst=client_machine, envelope=envelope), renewal
+        )
+
+    def _maybe_lease_request(self, op: Operation):
+        """Build one LeaseRequest if any of the op's keys needs a lease
+        (missing, or within the renewal margin of expiry) and its
+        per-key backoff allows it. Fire-and-forget: the host relays it
+        to the current group leader."""
+        now = self.node.env.now
+        cfg = self.config.leases
+        for key in self.keys_fn(op):
+            lease = self.lease_table.get(key)
+            if lease is not None and lease.expiry - now > cfg.renew_margin:
+                continue  # comfortably covered
+            last = self._lease_requested.get(key)
+            if last is not None and now - last < cfg.request_backoff:
+                continue
+            self._lease_requested[key] = now
+            yield from self.node.compute(self._mac_cost_digest)
+            tag = self._instance_key.sign(
+                LeaseRequest.auth_input(key, self.replica_id)
+            )
+            self.stats.lease_requests_sent += 1
+            return LeaseRequest(key, self.replica_id, tag)
+        return None
+
+    def _attest_lease_shard_reply(self, bft_request: Request, cached, origin: str):
+        """Lease-serve a *forwarded* read: this enclave vouches for the
+        leased result to the fronting Troxy, exactly like a completed
+        fast-read quorum (the lease carries the same f+1 trust)."""
+        reply = Reply(
+            replica_id=self.replica_id,
+            client_id=bft_request.client_id,
+            request_id=bft_request.request_id,
+            result=cached.result,
+            request_digest=cached.request_digest,
+        )
+        yield from self.node.compute(self._mac_base + self._mac_per_byte * reply.wire_size)
+        tag = self._instance_key.sign(
+            ShardFastReply.auth_input(reply, self.replica_id)
+        )
+        self.stats.shard_fast_replies_sent += 1
+        return Action(
+            "send_shard_reply",
+            dst=origin,
+            shard_reply=ShardFastReply(reply, self.replica_id, tag),
+        )
+
+    # -- ecall: lease maintenance (docs/READS.md) -------------------------------------
+
+    def install_leases(self, grants):
+        """Adopt the grants an executed slot carried for this Troxy
+        (ecall #12). Called by the host's lease sink *after* the slot's
+        execution — every earlier write has already invalidated the
+        cache — and each install is fenced by the sealed lease counter,
+        so a rebooted (rolled-back) enclave rejects replayed grants."""
+        if self.lease_table is None:
+            return None
+        now = self.node.env.now
+        for grant in grants:
+            yield from self.node.compute(self._mac_cost_digest)
+            granter_key = self.keyring.troxy_instance(grant.granter)
+            if not granter_key.verify(
+                LeaseGrant.auth_input(
+                    grant.key, grant.holder, grant.granter, grant.epoch, grant.expiry
+                ),
+                grant.tag,
+            ):
+                self.stats.invalid_messages += 1
+                continue
+            outcome = self.lease_table.install(grant, now)
+            if outcome == "installed":
+                self.stats.lease_grants_installed += 1
+                self._lease_requested.pop(grant.key, None)
+            elif outcome == "fenced":
+                self.stats.lease_grants_fenced += 1
+            else:
+                self.stats.lease_grants_rejected += 1
+            if self.obs is not None:
+                self.obs.lease_install(self, grant, outcome)
+        return None
+
+    def handle_lease_revoke(self, revoke: LeaseRevoke):
+        """A leader wants to write under our lease (ecall #13): drop the
+        lease, fence its epoch, bump the key's invalidation epoch, and
+        acknowledge so the parked write can be ordered.
+
+        The invalidation epoch bump is the shared-epoch fix: lease
+        revocation and write invalidation use the *same* per-key epoch
+        source, so a voted read that entered the vote before this revoke
+        can no longer install its result afterwards — otherwise a
+        lagging vote could resurrect the entry the revoke retired just
+        as the parked write commits."""
+        yield from self.node.compute(self._mac_cost_digest)
+        sender_key = self.keyring.troxy_instance(revoke.sender)
+        if not sender_key.verify(
+            LeaseRevoke.auth_input(revoke.key, revoke.epoch, revoke.holder, revoke.sender),
+            revoke.tag,
+        ):
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="bad lease revoke tag")
+        if revoke.holder != self.replica_id:
+            self.stats.invalid_messages += 1
+            return Action("drop", reason="lease revoke for another holder")
+        self.stats.lease_revocations += 1
+        if self.lease_table is not None:
+            self.lease_table.revoke(revoke.key, revoke.epoch)
+        self.cache.invalidate_keys((revoke.key,))
+        if self.obs is not None:
+            self.obs.lease_revoked(self, revoke.key)
+        yield from self.node.compute(self._mac_cost_digest)
+        tag = self._instance_key.sign(
+            LeaseRevokeAck.auth_input(revoke.key, revoke.epoch, self.replica_id)
+        )
+        return Action(
+            "send_lease_ack",
+            dst=revoke.sender,
+            lease_ack=LeaseRevokeAck(revoke.key, revoke.epoch, self.replica_id, tag),
+        )
 
     def _try_fast_read(
         self,
@@ -448,6 +697,10 @@ class TroxyCore:
         del self._fast_reads[answer.nonce]
         self.monitor.record_fast_success()
         self.stats.fast_read_hits += 1
+        # f remote caches corroborated the local entry — that is an f+1
+        # agreement, so the entry now carries enough trust for the lease
+        # serve path (docs/READS.md).
+        self.cache.promote(self._cache_key(state.bft_request.op))
         if self.obs is not None:
             self.obs.fast_read_result(self, state.client_request, "hit")
         if state.origin:
@@ -546,6 +799,14 @@ class TroxyCore:
                     dst=decision.target,
                     forward=ForwardedRequest(request, self.replica_id, tag),
                 )
+        lease_request = None
+        if self.leases_enabled and request.op.is_read:
+            served = yield from self._try_lease_read(
+                request, request, "", origin=request.origin
+            )
+            if served is not None:
+                return served
+            lease_request = yield from self._maybe_lease_request(request.op)
         if (
             self.fast_reads
             and request.op.is_read
@@ -555,9 +816,9 @@ class TroxyCore:
                 request, request, "", origin=request.origin
             )
             if action is not None:
-                return action
+                return self._with_lease_request(action, lease_request)
         self.stats.ordered_requests += 1
-        return Action("order", request=request)
+        return self._with_lease_request(Action("order", request=request), lease_request)
 
     def handle_shard_fast_reply(self, sfr: ShardFastReply):
         """The owning group's attested fast-read verdict for a request
@@ -621,7 +882,6 @@ class TroxyCore:
                 self._cache_key(request.op), reply, self.keys_fn(request.op)
             )
         yield from self.node.compute(self._mac_base + self._mac_per_byte * reply.wire_size)
-        tag = self._instance_key.sign(reply.auth_bytes())
         authenticated = Reply(
             replica_id=reply.replica_id,
             client_id=reply.client_id,
@@ -629,8 +889,12 @@ class TroxyCore:
             result=reply.result,
             request_digest=reply.request_digest,
             view=reply.view,
-            troxy_tag=tag,
+            fresh=fresh,
         )
+        # Sign the fresh-stamped bytes: the untrusted host must not be
+        # able to relabel a replayed reply as a fresh execution.
+        tag = self._instance_key.sign(authenticated.auth_bytes())
+        authenticated = replace(authenticated, troxy_tag=tag)
         if request.origin == self.replica_id:
             # Local reply feeding the local voter: fold the vote into this
             # ecall instead of crossing the boundary a second time
@@ -775,10 +1039,23 @@ class TroxyCore:
                 # write would otherwise resurrect the exact entry the
                 # write purged, and f other lagging Troxies could then
                 # corroborate the stale value into a fast read.
+                #
+                # A quorum of *replayed* replies (duplicate-suppression
+                # answers to a client retransmission) is decided but
+                # never installed: the replay carries the value from the
+                # request's original execution position, so the entry may
+                # predate writes that were invalidated long before this
+                # Troxy ordered the retransmission — its epoch snapshot
+                # cannot see that. Harmless to a voted fast read (remote
+                # caches were purged, so no f+1 corroboration), but a
+                # read lease would serve it locally (docs/READS.md).
                 keys = self.keys_fn(pending.bft_request.op)
-                if self.cache.key_epoch(keys) == pending.install_epoch:
+                if not all(vote.fresh for vote in matching):
+                    self.stats.replay_installs_skipped += 1
+                elif self.cache.key_epoch(keys) == pending.install_epoch:
                     self.cache.install(
-                        self._cache_key(pending.bft_request.op), reply, keys
+                        self._cache_key(pending.bft_request.op), reply, keys,
+                        voted=True,
                     )
                 else:
                     self.stats.stale_installs_skipped += 1

@@ -24,12 +24,15 @@ from .messages import (
     CacheEntryReply,
     CacheQuery,
     ForwardedRequest,
+    LeaseRequest,
+    LeaseRevoke,
+    LeaseRevokeAck,
     ShardFastReply,
 )
 
 #: ecalls the host registers on the enclave; together with Hybster's
-#: three trusted-subsystem certify calls this stays under the
-#: prototype's 16-entry interface (14 in total).
+#: three trusted-subsystem certify calls this fills the prototype's
+#: 16-entry interface (16 in total).
 TROXY_ECALLS = (
     "install_session",
     "handle_client_envelope",
@@ -42,6 +45,8 @@ TROXY_ECALLS = (
     "handle_replica_reply_batch",
     "handle_forwarded_request",
     "handle_shard_fast_reply",
+    "install_leases",
+    "handle_lease_revoke",
 )
 
 
@@ -72,6 +77,12 @@ class TroxyHost:
             enclave.register_ecall(name, getattr(core, name))
         replica.reply_sink = self._local_reply_sink
         replica.batch_reply_sink = self._local_batch_reply_sink
+        if core.leases_enabled:
+            # Executed slots hand their lease grants to the enclave, and
+            # a leader revoking its own co-located Troxy's lease calls
+            # straight into the ecall instead of sending to itself.
+            replica.lease_sink = self._lease_sink
+            replica.lease_revoke_sink = self._lease_revoke_local
         self._stopped = False
         # Process names are precomputed: one handler process is spawned
         # per inbound message, and building the f-string each time shows
@@ -170,13 +181,32 @@ class TroxyHost:
                 "handle_shard_fast_reply", payload, bytes_in=payload.wire_size
             )
             yield from self._act(action)
+        elif isinstance(payload, LeaseRequest):
+            yield from self.replica.handle_lease_request(payload)
+        elif isinstance(payload, LeaseRevoke):
+            action = yield from self.enclave.ecall(
+                "handle_lease_revoke", payload, bytes_in=payload.wire_size
+            )
+            yield from self._act(action)
+        elif isinstance(payload, LeaseRevokeAck):
+            yield from self.replica.handle_lease_ack(payload)
         else:
             self.replica.dispatch(payload)
 
     def _act(self, action: Optional[Action]):
-        if action is None or action.kind in ("wait", "drop"):
+        if action is None:
             return
             yield  # pragma: no cover - generator marker
+        if action.lease is not None:
+            # Fire-and-forget lease (renewal) request piggybacked on the
+            # main action: route it to the current group leader.
+            leader = self.replica.leader_id
+            if leader == self.replica_id:
+                yield from self.replica.handle_lease_request(action.lease)
+            else:
+                self.net.send(self.node.name, leader, action.lease)
+        if action.kind in ("wait", "drop"):
+            return
         if action.kind == "reply":
             self.net.send(
                 self.node.name, action.dst, action.envelope,
@@ -198,6 +228,12 @@ class TroxyHost:
             self.net.send(self.node.name, action.dst, action.forward)
         elif action.kind == "send_shard_reply":
             self.net.send(self.node.name, action.dst, action.shard_reply)
+        elif action.kind == "send_lease_ack":
+            if action.dst == self.replica_id:
+                # Revoking leader is this very replica: deliver locally.
+                yield from self.replica.handle_lease_ack(action.lease_ack)
+            else:
+                self.net.send(self.node.name, action.dst, action.lease_ack)
         elif action.kind == "deliver_local":
             follow_up = yield from self.enclave.ecall(
                 "handle_replica_reply", action.reply, bytes_in=action.reply.wire_size
@@ -230,3 +266,27 @@ class TroxyHost:
         )
         for action in actions:
             yield from self._act(action)
+
+    # -- lease plumbing (docs/READS.md) -----------------------------------------
+
+    def _lease_sink(self, grants):
+        """Installed as the replica's lease sink: an executed slot
+        carried grants, hand the ones addressed to this Troxy to the
+        enclave (one crossing for the whole slot)."""
+        mine = tuple(g for g in grants if g.holder == self.replica_id)
+        if not mine:
+            return
+            yield  # pragma: no cover - generator marker
+        action = yield from self.enclave.ecall(
+            "install_leases", mine,
+            bytes_in=sum(grant.wire_size for grant in mine),
+        )
+        yield from self._act(action)
+
+    def _lease_revoke_local(self, revoke: LeaseRevoke):
+        """Installed as the replica's local revoke sink: the leader is
+        revoking its own co-located Troxy's lease — no network hop."""
+        action = yield from self.enclave.ecall(
+            "handle_lease_revoke", revoke, bytes_in=revoke.wire_size
+        )
+        yield from self._act(action)

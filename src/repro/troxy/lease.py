@@ -1,0 +1,322 @@
+"""Lease-based linearizable fast reads (docs/READS.md).
+
+Three cooperating state machines implement leader-granted read leases:
+
+* :class:`LeaseTable` — the *holder* side, living inside the Troxy
+  enclave. Installs grants behind the sealed ``troxy-lease`` counter
+  (:func:`repro.sgx.counters.certify_lease`), serves validity checks to
+  the read path, and fences revocations by burning the grant epoch so a
+  rolled-back enclave or a replayed grant can never resurrect a lease.
+* :class:`LeaseManager` — the *leader* side, living next to the Hybster
+  replica. Queues lease requests, folds grants into ORDER messages
+  (``Order.grants``, covered by the order certificate), parks writes to
+  leased keys until the covering lease is revoked-and-acknowledged or
+  has expired on the shared clock, and signs revocations.
+* :class:`LeaseDirectory` — a conservative per-replica mirror of every
+  grant observed in the ordered stream. A new leader adopts its mirror
+  as the authoritative lease set: it may over-approximate (entries it
+  never saw revoked), which costs at most one lease duration of write
+  parking, but never under-approximates — the grants rode certified
+  orders, so a leader cannot have missed one below its commit point.
+
+Epochs are ``seq * LEASE_EPOCH_STRIDE + index``: strictly increasing in
+the order a holder executes them (execution is in slot order), strictly
+increasing across view changes (a new leader's next slot exceeds every
+executed slot), which is what lets one sealed monotonic counter fence
+every install.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sgx.counters import (
+    CounterError,
+    TrustedCounterSubsystem,
+    burn_lease_epoch,
+    certify_lease,
+)
+from .messages import LeaseGrant, LeaseRevoke
+
+#: Epoch slots reserved per agreement sequence number; bounds how many
+#: grants one ORDER may carry while keeping epochs monotone in (seq, i).
+LEASE_EPOCH_STRIDE = 1024
+
+
+class LeaseTable:
+    """Holder-side lease state, fenced by the sealed lease counter."""
+
+    def __init__(self, counters: TrustedCounterSubsystem):
+        self._counters = counters
+        self._leases: dict[str, LeaseGrant] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def get(self, key: str) -> Optional[LeaseGrant]:
+        return self._leases.get(key)
+
+    def valid(self, key: str, now: float) -> bool:
+        lease = self._leases.get(key)
+        return lease is not None and now < lease.expiry
+
+    def covers(self, keys, now: float) -> bool:
+        """Whether every key in ``keys`` is under a valid lease."""
+        return all(self.valid(key, now) for key in keys)
+
+    def install(self, grant: LeaseGrant, now: float) -> str:
+        """Try to adopt a grant; returns the outcome for stats/probes.
+
+        ``"installed"`` — lease active; ``"expired"`` — dead on arrival
+        (execution lagged past the expiry); ``"stale"`` — an equal or
+        newer lease for the key is already held; ``"fenced"`` — the
+        sealed counter refused the epoch (rollback or replay: the
+        enclave rebooted after installing a later epoch, or the epoch
+        was burned by a revocation that outran the grant).
+        """
+        if now >= grant.expiry:
+            return "expired"
+        held = self._leases.get(grant.key)
+        if held is not None and held.epoch >= grant.epoch:
+            return "stale"
+        try:
+            certify_lease(self._counters, grant.epoch, grant.digest())
+        except CounterError:
+            return "fenced"
+        self._leases[grant.key] = grant
+        return "installed"
+
+    def revoke(self, key: str, epoch: int) -> bool:
+        """Drop the lease on ``key`` (if ours is not newer than ``epoch``)
+        and burn the epoch so the revoked grant can never install later.
+        Returns whether a live lease was actually dropped."""
+        lease = self._leases.get(key)
+        dropped = False
+        if lease is not None and lease.epoch <= epoch:
+            del self._leases[key]
+            dropped = True
+        burn_lease_epoch(self._counters, epoch)
+        return dropped
+
+    def drop_expired(self, now: float) -> int:
+        """Garbage-collect expired leases; returns how many lapsed."""
+        dead = [k for k, lease in self._leases.items() if now >= lease.expiry]
+        for key in dead:
+            del self._leases[key]
+        return len(dead)
+
+    def clear(self) -> None:
+        """Enclave reboot: the volatile table dies, the sealed counter
+        survives — which is exactly why rollback cannot resurrect any
+        lease this table ever held."""
+        self._leases.clear()
+
+
+class LeaseDirectory:
+    """Conservative per-replica mirror of grants seen in ordered slots."""
+
+    def __init__(self):
+        self._grants: dict[str, LeaseGrant] = {}
+
+    def __len__(self) -> int:
+        return len(self._grants)
+
+    def observe(self, grant: LeaseGrant) -> None:
+        held = self._grants.get(grant.key)
+        if held is None or grant.epoch > held.epoch:
+            self._grants[grant.key] = grant
+
+    def active(self, now: float) -> tuple[LeaseGrant, ...]:
+        """Prune expired entries and return the live grants."""
+        dead = [k for k, g in self._grants.items() if now >= g.expiry]
+        for key in dead:
+            del self._grants[key]
+        return tuple(self._grants.values())
+
+
+class LeaseManager:
+    """Leader-side granting, revocation, and write parking."""
+
+    def __init__(
+        self,
+        replica_id: str,
+        instance_key,
+        config,
+        grantable: Optional[Callable[[str], bool]] = None,
+    ):
+        self.replica_id = replica_id
+        self._key = instance_key
+        self.config = config
+        # Deployment veto (sharding): keys pinned to another group or
+        # under a migration write-freeze must not be leased.
+        self._grantable = grantable or (lambda key: True)
+        self._active: dict[str, LeaseGrant] = {}
+        self._revoking: dict[str, LeaseGrant] = {}
+        self._pending: dict[str, str] = {}  # key -> requesting holder
+        # Parked writes: (request, keys-still-blocking-it). A request
+        # releases only once every blocking key is revoked or expired.
+        self._parked: list[list] = []
+
+    def set_grantable(self, grantable: Callable[[str], bool]) -> None:
+        """Install a deployment-level grant veto (sharding wiring)."""
+        self._grantable = grantable
+
+    # -- requests and grants ------------------------------------------------
+
+    def note_request(self, key: str, holder: str, now: float) -> bool:
+        """Queue a (renewal) request; returns whether it was queued."""
+        if key in self._revoking:
+            return False  # a write is waiting; the holder re-requests later
+        held = self._active.get(key)
+        if held is not None and now < held.expiry and held.holder != holder:
+            return False  # single writer per key: someone else holds it
+        self._pending[key] = holder
+        return True
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def grants_for_slot(self, seq: int, now: float) -> tuple[LeaseGrant, ...]:
+        """Drain grantable requests into the grants for slot ``seq``.
+
+        Called by the leader under the order lock, immediately before
+        the slot's content digest is certified — the grants become part
+        of the certified order, and are registered active here at attach
+        time so any later write to these keys parks even though the
+        carrying order has not executed yet.
+        """
+        if not self._pending:
+            return ()
+        self._drop_expired(now)
+        grants = []
+        for key, holder in list(self._pending.items()):
+            if key in self._revoking:
+                del self._pending[key]
+                continue
+            held = self._active.get(key)
+            if held is not None and held.holder != holder:
+                del self._pending[key]
+                continue
+            if not self._grantable(key):
+                del self._pending[key]
+                continue
+            if len(grants) >= LEASE_EPOCH_STRIDE:
+                break  # epoch space for this slot is full; rest wait
+            epoch = seq * LEASE_EPOCH_STRIDE + len(grants)
+            expiry = now + self.config.duration
+            tag = self._key.sign(
+                LeaseGrant.auth_input(key, holder, self.replica_id, epoch, expiry)
+            )
+            grant = LeaseGrant(key, holder, self.replica_id, epoch, expiry, tag)
+            self._active[key] = grant
+            grants.append(grant)
+            del self._pending[key]
+        return tuple(grants)
+
+    def _drop_expired(self, now: float) -> None:
+        for key in [k for k, g in self._active.items() if now >= g.expiry]:
+            del self._active[key]
+
+    # -- write parking ------------------------------------------------------
+
+    def blocking_keys(self, keys, now: float) -> tuple[str, ...]:
+        """Keys in ``keys`` a write must wait on before ordering."""
+        blocked = []
+        for key in keys:
+            grant = self._active.get(key)
+            if grant is not None and now < grant.expiry:
+                blocked.append(key)
+            elif key in self._revoking:
+                blocked.append(key)  # ack or expiry still outstanding
+        return tuple(blocked)
+
+    def park(self, request, keys) -> None:
+        self._parked.append([request, set(keys)])
+
+    def parked_count(self) -> int:
+        return len(self._parked)
+
+    def is_revoking(self, key: str) -> bool:
+        return key in self._revoking
+
+    def begin_revoke(self, key: str) -> Optional[LeaseGrant]:
+        """Move ``key`` into the revoking state; returns the grant to
+        revoke, or None if a revocation is already in flight (or the
+        lease vanished)."""
+        if key in self._revoking:
+            return None
+        grant = self._active.pop(key, None)
+        if grant is None:
+            return None
+        self._revoking[key] = grant
+        return grant
+
+    def make_revoke(self, grant: LeaseGrant) -> LeaseRevoke:
+        tag = self._key.sign(
+            LeaseRevoke.auth_input(grant.key, grant.epoch, grant.holder, self.replica_id)
+        )
+        return LeaseRevoke(grant.key, grant.epoch, grant.holder, self.replica_id, tag)
+
+    def on_ack(self, key: str, epoch: int, holder: str) -> bool:
+        """A verified LeaseRevokeAck arrived; returns whether it settles
+        the outstanding revocation."""
+        grant = self._revoking.get(key)
+        if grant is None or grant.epoch != epoch or grant.holder != holder:
+            return False
+        del self._revoking[key]
+        return True
+
+    def on_revoke_expired(self, key: str, grant: LeaseGrant, now: float) -> bool:
+        """The revocation timer fired; the lease is dead on the shared
+        clock even if the (possibly partitioned) holder never acked."""
+        if self._revoking.get(key) is not grant:
+            return False
+        if now < grant.expiry:
+            return False
+        del self._revoking[key]
+        return True
+
+    def release_key(self, key: str):
+        """Clear ``key`` from every parked write; returns the requests
+        that are no longer blocked on anything."""
+        released = []
+        remaining = []
+        for entry in self._parked:
+            entry[1].discard(key)
+            if entry[1]:
+                remaining.append(entry)
+            else:
+                released.append(entry[0])
+        self._parked = remaining
+        return tuple(released)
+
+    def drain_parked(self):
+        """View change / restart: abandon every parked write (clients
+        retransmit; the new leader re-parks as needed)."""
+        released = tuple(entry[0] for entry in self._parked)
+        self._parked = []
+        return released
+
+    # -- leadership hand-over ----------------------------------------------
+
+    def adopt(self, grants, now: float) -> int:
+        """New leader: adopt the conservative mirror as the active set.
+
+        Over-approximating is safe (writes park at most one lease
+        duration for a lease that was in fact already revoked);
+        under-approximating would be unsafe, and cannot happen because
+        every grant rode a certified order this replica committed.
+        """
+        adopted = 0
+        for grant in grants:
+            if now >= grant.expiry:
+                continue
+            held = self._active.get(grant.key)
+            if held is None or grant.epoch > held.epoch:
+                self._active[grant.key] = grant
+                adopted += 1
+        return adopted
+
+    def reset(self) -> None:
+        """Leadership lost: stop granting; pending requests die."""
+        self._pending.clear()

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..crypto.primitives import DIGEST_SIZE, MAC_SIZE
+from ..crypto.primitives import DIGEST_SIZE, MAC_SIZE, intern_digest
 
 _HEADER = 16
 
@@ -169,5 +169,148 @@ class CacheEntryReply:
             + responder.encode()
             + b"|"
             + nonce.to_bytes(8, "big")
+        )
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """Leader-issued read lease for one key (docs/READS.md).
+
+    Grants ride inside ORDER messages (``Order.grants``) so every
+    replica learns about them in agreement order and the order
+    certificate covers them — an untrusted host cannot strip or forge a
+    grant in a relayed order. ``epoch`` is derived from the carrying
+    sequence number, so the epochs one holder installs are strictly
+    increasing: the holder's sealed ``troxy-lease`` counter fences each
+    install and a rolled-back enclave can never re-install an old grant.
+    The tag is computed under the granting leader's Troxy instance key.
+    """
+
+    key: str
+    holder: str  # replica id of the Troxy allowed to serve lease reads
+    granter: str  # replica id of the issuing leader
+    epoch: int
+    expiry: float  # absolute time on the shared simulation clock
+    tag: bytes
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "wire_size",
+            _HEADER + len(self.key) + len(self.holder) + len(self.granter)
+            + 16 + MAC_SIZE,
+        )
+
+    @staticmethod
+    def auth_input(
+        key: str, holder: str, granter: str, epoch: int, expiry: float
+    ) -> bytes:
+        return (
+            b"LG|" + key.encode() + b"|" + holder.encode() + b"|"
+            + granter.encode() + b"|" + epoch.to_bytes(8, "big") + b"|"
+            + expiry.hex().encode()
+        )
+
+    def digest(self) -> bytes:
+        try:
+            return self._digest
+        except AttributeError:
+            cached = intern_digest(
+                self.auth_input(
+                    self.key, self.holder, self.granter, self.epoch, self.expiry
+                )
+            )
+            object.__setattr__(self, "_digest", cached)
+            return cached
+
+
+@dataclass(frozen=True)
+class LeaseRequest:
+    """A Troxy asking its group leader for (or renewing) a read lease.
+
+    Fire-and-forget: the requester keeps serving through the voted path
+    until a grant arrives in an ordered slot. Signed under the
+    requesting Troxy's instance key; a forged request can at worst cause
+    a harmless grant to a Troxy that never asked.
+    """
+
+    key: str
+    holder: str  # replica id of the requesting Troxy
+    tag: bytes
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "wire_size", _HEADER + len(self.key) + len(self.holder) + MAC_SIZE
+        )
+
+    @staticmethod
+    def auth_input(key: str, holder: str) -> bytes:
+        return b"LQ|" + key.encode() + b"|" + holder.encode()
+
+
+@dataclass(frozen=True)
+class LeaseRevoke:
+    """Leader order to a holder: stop serving lease reads for ``key``.
+
+    Sent before the leader orders a write to a leased key; the write
+    stays parked until the holder acknowledges (or the lease expires on
+    the shared clock). The holder drops the lease, bumps the key's
+    cache-invalidation epoch, and burns the grant epoch in its sealed
+    counter so a late or replayed grant can never resurrect the lease.
+    """
+
+    key: str
+    epoch: int
+    holder: str  # replica id of the lease holder being revoked
+    sender: str  # replica id of the revoking leader
+    tag: bytes
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "wire_size",
+            _HEADER + len(self.key) + 8 + len(self.holder) + len(self.sender)
+            + MAC_SIZE,
+        )
+
+    @staticmethod
+    def auth_input(key: str, epoch: int, holder: str, sender: str) -> bytes:
+        return (
+            b"LR|" + key.encode() + b"|" + epoch.to_bytes(8, "big") + b"|"
+            + holder.encode() + b"|" + sender.encode()
+        )
+
+
+@dataclass(frozen=True)
+class LeaseRevokeAck:
+    """Holder confirmation that a lease is dead and fenced.
+
+    Must be authentic: a forged ack would release a parked write while
+    the holder still serves lease reads. Signed under the holder's
+    Troxy instance key and verified by the leader before the write is
+    unparked.
+    """
+
+    key: str
+    epoch: int
+    holder: str
+    tag: bytes
+    wire_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "wire_size",
+            _HEADER + len(self.key) + 8 + len(self.holder) + MAC_SIZE,
+        )
+
+    @staticmethod
+    def auth_input(key: str, epoch: int, holder: str) -> bytes:
+        return (
+            b"LA|" + key.encode() + b"|" + epoch.to_bytes(8, "big") + b"|"
+            + holder.encode()
         )
 

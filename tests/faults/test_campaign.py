@@ -90,6 +90,27 @@ def test_replayed_reply_does_not_repoison_fast_read_cache():
     assert result["ok"], [inv for inv in result["invariants"] if not inv["ok"]]
 
 
+def test_replayed_reply_quorum_cannot_feed_a_lease_read():
+    """Regression: a vote quorum formed over *replayed* replies
+    (duplicate-suppression answers to a post-failover retransmission)
+    installed the replay's original-execution-position value as a voted
+    cache entry. The voted fast-read path never served it (remote caches
+    were purged, so no f+1 corroboration), but a read lease served the
+    poisoned entry locally. Replies now carry a Troxy-authenticated
+    ``fresh`` bit and a replayed quorum is decided without installing
+    (docs/READS.md)."""
+    from dataclasses import replace as dc_replace
+
+    scenario = dc_replace(
+        get_scenario("host_tamper_replies"),
+        name="host_tamper_replies_leases",
+        cluster_kwargs=(("leases", 0.5),),
+    )
+    result = run_scenario(scenario, 1)
+    assert result["ok"], [inv for inv in result["invariants"] if not inv["ok"]]
+    assert result["stats"]["lease_read_hits"] > 0
+
+
 def test_run_scenario_emits_chaos_metrics():
     from repro.obs import Registry
 

@@ -47,7 +47,9 @@ def test_troxy_f2_tolerates_two_byzantine_replicas():
 
 
 def test_troxy_f2_fast_read_uses_two_remote_probes():
-    cluster = build_troxy(seed=53, f=2, app_factory=KvStore)
+    # Pins the voted probe path; leases off so the CI lease matrix
+    # cannot serve the second read locally (docs/READS.md).
+    cluster = build_troxy(seed=53, f=2, app_factory=KvStore, leases="off")
     client = cluster.new_client(contact_index=0)
     results = run_ops(
         cluster, client, [put("k", b"v"), get("k"), get("k")]

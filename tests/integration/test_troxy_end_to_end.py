@@ -58,7 +58,9 @@ def test_all_replicas_converge():
 
 
 def test_second_read_is_served_from_cache():
-    cluster = build_troxy(seed=5, app_factory=KvStore)
+    # Pins the voted probe path; leases off so the CI lease matrix
+    # cannot serve the second read locally (docs/READS.md).
+    cluster = build_troxy(seed=5, app_factory=KvStore, leases="off")
     client = cluster.new_client(contact_index=0)
     results = run_ops(
         cluster, client, [put("page", b"content"), get("page"), get("page")]
@@ -122,7 +124,11 @@ def test_enclave_transitions_happen():
 
 
 def test_ctroxy_has_no_sgx_costs_but_same_semantics():
-    cluster = build_troxy(seed=11, app_factory=KvStore, boundary="jni")
+    # Pins the voted probe path; leases off so the CI lease matrix
+    # cannot serve the second read locally (docs/READS.md).
+    cluster = build_troxy(
+        seed=11, app_factory=KvStore, boundary="jni", leases="off"
+    )
     client = cluster.new_client(contact_index=0)
     results = run_ops(cluster, client, [put("x", b"1"), get("x"), get("x")])
     assert [r.result.content for r in results] == [b"stored", b"1", b"1"]

@@ -80,7 +80,9 @@ def test_stale_cache_reply_replay_rejected():
     """A malicious replica replays an earlier CacheEntryReply for a new
     query. The nonce binding makes it useless; the read still completes
     correctly (fallback path at worst)."""
-    cluster = build_troxy(seed=23, app_factory=KvStore)
+    # Pins the voted probe path; leases off so the CI lease matrix
+    # cannot serve the second read locally (docs/READS.md).
+    cluster = build_troxy(seed=23, app_factory=KvStore, leases="off")
     plane = FaultPlane(cluster)
     capture = plane.tap(payload_types=("CacheEntryReply",))
     client = cluster.new_client(contact_index=0)

@@ -8,9 +8,12 @@ from repro.troxy.monitor import ConflictMonitor
 
 
 def test_switch_latches_under_contention_and_recovers():
+    # Pins the conflict-monitor probe path; leases off so the CI lease
+    # matrix cannot serve reads locally past the monitor (docs/READS.md).
     cluster = build_troxy(
         seed=141,
         app_factory=KvStore,
+        leases="off",
         monitor_factory=lambda: ConflictMonitor(
             window=16, min_samples=8, threshold=0.4,
             probe_interval=2, recovery_successes=2,
